@@ -1,0 +1,48 @@
+# cfpgrowth — build, test, and reproduce the paper's evaluation.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./internal/core/ ./internal/pfp/ ./internal/mine/ .
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Short fuzz campaigns over the parsers and serializers.
+fuzz:
+	$(GO) test ./internal/dataset/ -fuzz FuzzReadAll -fuzztime 30s
+	$(GO) test ./internal/dataset/ -fuzz FuzzReadBinary -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzReadArray -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzInsertMine -fuzztime 60s
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/marketbasket
+	$(GO) run ./examples/weblog
+	$(GO) run ./examples/rules
+	$(GO) run ./examples/streaming
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,193 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4). Each benchmark runs the corresponding experiment
+// from internal/experiments at a reduced scale and reports the paper's
+// headline quantity as a custom metric, so `go test -bench .` yields
+// the full reproduction sweep. cmd/experiments prints the same rows in
+// the paper's format at the default scale.
+package cfpgrowth
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/experiments"
+)
+
+// benchConfig keeps the bench sweep fast: 1/4000-scale datasets with a
+// proportionally scaled memory budget, trimmed support grids.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 4000, Quick: true}.WithDefaults()
+}
+
+func BenchmarkTable1_FPTreeZeroBytes(b *testing.B) {
+	cfg := benchConfig()
+	var share float64
+	for i := 0; i < b.N; i++ {
+		r, err := cfg.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = r.Table.ZeroByteShare
+	}
+	b.ReportMetric(100*share, "zero-bytes-%")
+}
+
+func BenchmarkTable2_CFPTreeZeroBytes(b *testing.B) {
+	cfg := benchConfig()
+	var pc4 float64
+	for i := 0; i < b.N; i++ {
+		r, err := cfg.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pc4 = r.Stats.Pcount.Percent(4)
+	}
+	b.ReportMetric(pc4, "pcount-zero-%")
+}
+
+func BenchmarkFig6a_CFPTreeNodeSize(b *testing.B) {
+	cfg := benchConfig()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.TreeAvgNode > worst {
+				worst = r.TreeAvgNode
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-B/node")
+}
+
+func BenchmarkFig6b_CFPArrayNodeSize(b *testing.B) {
+	cfg := benchConfig()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := cfg.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.ArrayAvgNode > worst {
+				worst = r.ArrayAvgNode
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-B/node")
+}
+
+// fig7Rows runs the Figure 7 sweep once per benchmark iteration and
+// returns the last result set.
+func fig7Rows(b *testing.B, cfg experiments.Config) []experiments.Fig7Row {
+	b.Helper()
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = cfg.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rows
+}
+
+func BenchmarkFig7a_BuildTime(b *testing.B) {
+	rows := fig7Rows(b, benchConfig())
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.FPBuildMeasured.Seconds()*1000, "fp-build-ms")
+	b.ReportMetric(last.CFPBuildConvMeasured.Seconds()*1000, "cfp-build-ms")
+}
+
+func BenchmarkFig7b_BuildMemory(b *testing.B) {
+	rows := fig7Rows(b, benchConfig())
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.FPBuildBytes)/float64(last.CFPBuildBytes), "mem-ratio")
+}
+
+func BenchmarkFig7c_TotalTime(b *testing.B) {
+	rows := fig7Rows(b, benchConfig())
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.FPTotal.Seconds(), "fp-total-s")
+	b.ReportMetric(last.CFPTotal.Seconds(), "cfp-total-s")
+}
+
+func BenchmarkFig7d_PeakMemory(b *testing.B) {
+	rows := fig7Rows(b, benchConfig())
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.FPPeakBytes)/float64(last.CFPPeakBytes), "peak-ratio")
+}
+
+func fig8Metric(b *testing.B, res experiments.Fig8Result) {
+	b.Helper()
+	// Headline: CFP-growth peak memory advantage over the worst
+	// competitor at the lowest support of the sweep.
+	var cfp, worst int64
+	var rel float64
+	for _, c := range res.Cells {
+		if c.RelSupport < rel || rel == 0 {
+			rel = c.RelSupport
+		}
+	}
+	for _, c := range res.Cells {
+		if c.RelSupport != rel {
+			continue
+		}
+		if c.Algorithm == "cfpgrowth" {
+			cfp = c.PeakBytes
+		} else if c.PeakBytes > worst {
+			worst = c.PeakBytes
+		}
+	}
+	if cfp > 0 {
+		b.ReportMetric(float64(worst)/float64(cfp), "peak-advantage")
+	}
+}
+
+func BenchmarkFig8a_VariantsTime(b *testing.B) {
+	cfg := benchConfig()
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = cfg.Fig8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fig8Metric(b, res)
+}
+
+func BenchmarkFig8b_VariantsMemory(b *testing.B) {
+	// Figure 8(b) is the memory panel of the 8(a) runs; same sweep,
+	// memory metric.
+	BenchmarkFig8a_VariantsTime(b)
+}
+
+func BenchmarkFig8c_FIMITime(b *testing.B) {
+	cfg := benchConfig()
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = cfg.Fig8c()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fig8Metric(b, res)
+}
+
+func BenchmarkFig8d_FIMITimeQuest2(b *testing.B) {
+	cfg := benchConfig()
+	var res experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = cfg.Fig8d()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	fig8Metric(b, res)
+}

@@ -1,0 +1,131 @@
+package cfpgrowth
+
+import (
+	"os"
+
+	"reflect"
+	"testing"
+)
+
+func TestBuilderMatchesDirectMining(t *testing.T) {
+	b, err := NewBuilder(Options{MinSupport: 2}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range exampleDB {
+		if err := b.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.NumTx() != 6 {
+		t.Errorf("NumTx = %d, want 6", b.NumTx())
+	}
+	ix, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.MineAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("streamed build mines differently than direct mining")
+	}
+}
+
+func TestBuilderRelativeSupport(t *testing.T) {
+	b, err := NewBuilder(Options{RelativeSupport: 0.33}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range exampleDB {
+		_ = b.Add(tx)
+	}
+	ix, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.BaseSupport != 2 {
+		t.Errorf("BaseSupport = %d, want 2 (0.33 of 6)", ix.BaseSupport)
+	}
+}
+
+func TestBuilderDuplicateItemsWithinTransaction(t *testing.T) {
+	b, err := NewBuilder(Options{MinSupport: 1}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Add([]Item{5, 5, 5, 7})
+	ix, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := ix.MineAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if len(s.Items) == 1 && s.Items[0] == 5 && s.Support != 1 {
+			t.Errorf("duplicate items inflated support: %d", s.Support)
+		}
+	}
+}
+
+func TestBuilderLifecycleErrors(t *testing.T) {
+	b, err := NewBuilder(Options{MinSupport: 1}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Add([]Item{1})
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]Item{2}); err == nil {
+		t.Error("Add after Finish accepted")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Error("double Finish accepted")
+	}
+}
+
+func TestBuilderMissingSupport(t *testing.T) {
+	b, err := NewBuilder(Options{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Add([]Item{1})
+	if _, err := b.Finish(); err == nil {
+		t.Error("Finish without support threshold accepted")
+	}
+}
+
+func TestBuilderDiscard(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewBuilder(Options{MinSupport: 1}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b.Add([]Item{1, 2, 3})
+	b.Discard()
+	// The spool must be gone.
+	entries, err := osReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spool left behind: %v", entries)
+	}
+}
+
+func osReadDir(dir string) ([]string, error) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Readdirnames(-1)
+}

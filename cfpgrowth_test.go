@@ -1,0 +1,174 @@
+package cfpgrowth
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+)
+
+var exampleDB = Transactions{
+	{1, 2, 3},
+	{1, 2},
+	{1, 3},
+	{2, 3},
+	{1, 2, 3, 4},
+	{4},
+}
+
+func TestMineBasic(t *testing.T) {
+	var got []Itemset
+	err := Mine(exampleDB, Options{MinSupport: 2}, func(items []Item, sup uint64) error {
+		cp := make([]Item, len(items))
+		copy(cp, items)
+		got = append(got, Itemset{Items: cp, Support: sup})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Errorf("found %d itemsets, want 8", len(got))
+	}
+}
+
+func TestMineAllEveryAlgorithm(t *testing.T) {
+	want, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Algorithms() {
+		got, err := MineAll(exampleDB, Options{MinSupport: 2, Algorithm: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s disagrees with default algorithm", name)
+		}
+	}
+}
+
+func TestRelativeSupport(t *testing.T) {
+	// 6 transactions, 0.33 → absolute 2.
+	a, err := MineAll(exampleDB, Options{RelativeSupport: 0.33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("relative support 0.33 over 6 txs must equal absolute 2")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if err := Mine(exampleDB, Options{}, nil); err == nil {
+		t.Error("accepted missing support")
+	}
+	if err := Mine(exampleDB, Options{MinSupport: 1, RelativeSupport: 0.5}, nil); err == nil {
+		t.Error("accepted both support forms")
+	}
+	if err := Mine(exampleDB, Options{RelativeSupport: 1.5}, nil); err == nil {
+		t.Error("accepted relative support > 1")
+	}
+	if err := Mine(exampleDB, Options{MinSupport: 1, Algorithm: "bogus"}, func([]Item, uint64) error { return nil }); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+}
+
+func TestCount(t *testing.T) {
+	total, byLen, err := Count(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Errorf("total = %d, want 8", total)
+	}
+	if byLen[1] != 4 || byLen[2] != 3 || byLen[3] != 1 {
+		t.Errorf("byLen = %v", byLen)
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	var maxSeen int
+	err := Mine(exampleDB, Options{MinSupport: 2, MaxLen: 2}, func(items []Item, sup uint64) error {
+		if len(items) > maxSeen {
+			maxSeen = len(items)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > 2 {
+		t.Errorf("itemset of length %d leaked past MaxLen 2", maxSeen)
+	}
+}
+
+func TestMemoryStats(t *testing.T) {
+	var ms MemoryStats
+	if err := Mine(exampleDB, Options{MinSupport: 2, Memory: &ms}, func([]Item, uint64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ms.PeakBytes <= 0 {
+		t.Error("no peak memory reported")
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.fimi")
+	if err := dataset.WriteFile(path, dataset.Slice(exampleDB)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineAll(File(path), Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("file-backed mining differs from in-memory mining")
+	}
+}
+
+func TestAnalyzeCompression(t *testing.T) {
+	cs, err := AnalyzeCompression(exampleDB, Options{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.FPTreeNodes <= 0 {
+		t.Fatal("no nodes analyzed")
+	}
+	if cs.CFPTreeBytes >= cs.FPTreeBytes {
+		t.Errorf("CFP-tree %d B not smaller than FP-tree %d B", cs.CFPTreeBytes, cs.FPTreeBytes)
+	}
+	if cs.CFPArrayBytes >= cs.BaselineBytes {
+		t.Errorf("CFP-array %d B not smaller than 40 B/node baseline %d B", cs.CFPArrayBytes, cs.BaselineBytes)
+	}
+	if cs.StdNodes+cs.ChainNodes+cs.EmbeddedLeaves == 0 {
+		t.Error("no physical node breakdown")
+	}
+}
+
+func TestTreeConfigPlumbing(t *testing.T) {
+	a, err := AnalyzeCompression(exampleDB, Options{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeCompression(exampleDB, Options{MinSupport: 1,
+		Tree: TreeConfig{DisableChains: true, DisableEmbed: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ChainNodes != 0 || b.EmbeddedLeaves != 0 {
+		t.Error("TreeConfig not plumbed through")
+	}
+	if b.CFPTreeBytes <= a.CFPTreeBytes {
+		t.Error("disabling chains+embedding should increase tree bytes")
+	}
+}

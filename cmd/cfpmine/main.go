@@ -1,0 +1,206 @@
+// Command cfpmine mines frequent itemsets from a FIMI-format file.
+//
+// Usage:
+//
+//	cfpmine -input data.fimi -minsup 0.01 [-algo cfpgrowth] [-out itemsets.txt]
+//	cfpmine -input data.fimi -abssup 5000 -count
+//
+// With -count only the number of frequent itemsets per cardinality is
+// printed; otherwise every itemset is written in the FIMI output
+// convention "i1 i2 ... (support)".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cfpgrowth"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func main() {
+	var (
+		input     = flag.String("input", "", "FIMI-format input file (required)")
+		algo      = flag.String("algo", "cfpgrowth", "algorithm: "+strings.Join(cfpgrowth.Algorithms(), ", "))
+		minsup    = flag.Float64("minsup", 0, "relative minimum support, e.g. 0.01 for 1%")
+		abssup    = flag.Uint64("abssup", 0, "absolute minimum support (transactions)")
+		countOnly = flag.Bool("count", false, "print itemset counts only")
+		out       = flag.String("out", "", "output file (default stdout)")
+		maxLen    = flag.Int("maxlen", 0, "suppress itemsets longer than this (0 = no limit)")
+		noChain   = flag.Bool("nochains", false, "disable CFP-tree chain nodes")
+		noEmbed   = flag.Bool("noembed", false, "disable CFP-tree embedded leaves")
+		parallel  = flag.Int("parallel", 0, "mine with this many goroutines (cfpgrowth only)")
+		closed    = flag.Bool("closed", false, "report only closed itemsets")
+		maximal   = flag.Bool("maximal", false, "report only maximal itemsets")
+		topk      = flag.Int("topk", 0, "report only the K highest-support itemsets of ≥2 items")
+		saveIdx   = flag.String("saveindex", "", "also save the compressed CFP-array index to this file")
+		loadIdx   = flag.String("loadindex", "", "mine from a saved index instead of -input")
+	)
+	flag.Parse()
+	if *input == "" && *loadIdx == "" {
+		fmt.Fprintln(os.Stderr, "cfpmine: -input or -loadindex is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := cfpgrowth.Options{
+		MinSupport:      *abssup,
+		RelativeSupport: *minsup,
+		Algorithm:       *algo,
+		MaxLen:          *maxLen,
+		Parallel:        *parallel,
+		Tree: cfpgrowth.TreeConfig{
+			DisableChains: *noChain,
+			DisableEmbed:  *noEmbed,
+		},
+	}
+	var ms cfpgrowth.MemoryStats
+	opts.Memory = &ms
+	start := time.Now()
+	if *loadIdx != "" {
+		ix, err := cfpgrowth.LoadIndex(*loadIdx)
+		if err != nil {
+			fail(err)
+		}
+		sup := *abssup
+		if sup == 0 {
+			sup = uint64(*minsup * float64(ix.NumTx))
+		}
+		w := outWriter(*out)
+		sink := mine.NewWriterSink(w)
+		var n uint64
+		err = ix.Mine(sup, func(items []uint32, s uint64) error {
+			n++
+			return sink.Emit(items, s)
+		})
+		if err != nil {
+			fail(err)
+		}
+		if err := sink.Flush(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cfpmine: %d itemsets from index (%d nodes, %s) in %.2fs\n",
+			n, ix.NumNodes(), human(ix.Bytes()), time.Since(start).Seconds())
+		return
+	}
+	src := openSource(*input)
+	if *saveIdx != "" {
+		ix, err := cfpgrowth.BuildIndex(src, opts)
+		if err != nil {
+			fail(err)
+		}
+		if err := cfpgrowth.SaveIndex(*saveIdx, ix); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cfpmine: saved index: %d nodes, %s\n", ix.NumNodes(), human(ix.Bytes()))
+	}
+	if *closed || *maximal || *topk > 0 {
+		var sets []cfpgrowth.Itemset
+		var err error
+		var kind string
+		switch {
+		case *topk > 0:
+			sets, err = cfpgrowth.MineTopK(src, opts, *topk, 2)
+			kind = "top-k"
+		case *closed:
+			sets, err = cfpgrowth.MineClosed(src, opts)
+			kind = "closed"
+		default:
+			sets, err = cfpgrowth.MineMaximal(src, opts)
+			kind = "maximal"
+		}
+		if err != nil {
+			fail(err)
+		}
+		w := outWriter(*out)
+		sink := mine.NewWriterSink(w)
+		for _, s := range sets {
+			if err := sink.Emit(s.Items, s.Support); err != nil {
+				fail(err)
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "cfpmine: %d %s itemsets in %.2fs\n", len(sets), kind, time.Since(start).Seconds())
+		return
+	}
+	if *countOnly {
+		total, byLen, err := cfpgrowth.Count(src, opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("frequent itemsets: %d (%.2fs)\n", total, time.Since(start).Seconds())
+		for l, c := range byLen {
+			if c > 0 {
+				fmt.Printf("  |I| = %2d: %d\n", l, c)
+			}
+		}
+		return
+	}
+	w := outWriter(*out)
+	sink := mine.NewWriterSink(w)
+	var n uint64
+	err := cfpgrowth.Mine(src, opts, func(items []uint32, sup uint64) error {
+		n++
+		return sink.Emit(items, sup)
+	})
+	if err != nil {
+		fail(err)
+	}
+	if err := sink.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "cfpmine: %d itemsets in %.2fs, peak memory %s\n",
+		n, time.Since(start).Seconds(), human(ms.PeakBytes))
+}
+
+// openSource sniffs the input format by its magic bytes: the binary
+// transaction format ("CFPT", see docs/FORMAT.md) or FIMI text.
+func openSource(path string) cfpgrowth.Source {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	var magic [4]byte
+	n, _ := f.Read(magic[:])
+	f.Close()
+	if n == 4 && string(magic[:]) == "CFPT" {
+		return &dataset.BinaryFile{Path: path}
+	}
+	return cfpgrowth.File(path)
+}
+
+// outWriter opens the output destination; the process exits on error
+// and the returned file is intentionally left to process teardown.
+func outWriter(path string) *os.File {
+	if path == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	return f
+}
+
+func human(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cfpmine:", err)
+	os.Exit(1)
+}

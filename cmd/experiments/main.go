@@ -1,0 +1,143 @@
+// Command experiments regenerates the paper's tables and figures
+// (Tables 1–3, Figures 6(a)–8(d)) at laptop scale and prints the rows
+// in the paper's format. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments all
+//	experiments table1 table2 fig6a
+//	experiments -scale 500 -budget 16 fig7a fig8c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cfpgrowth/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.Int("scale", 1000, "dataset scale divisor (1000 = 1/1000 of the paper's sizes)")
+		budget = flag.Int64("budget", 0, "modeled physical memory in MiB (0 = auto from scale)")
+		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|all>...")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, MemBudget: *budget << 20, Quick: *quick}.WithDefaults()
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, k := range []string{"table1", "table2", "table3", "fig6", "fig7", "fig8a", "fig8c", "fig8d", "ablation"} {
+				want[k] = true
+			}
+			continue
+		}
+		switch a {
+		case "fig6a", "fig6b":
+			want["fig6"] = true
+		case "fig7a", "fig7b", "fig7c", "fig7d":
+			want["fig7"] = true
+		case "fig8b":
+			want["fig8a"] = true
+		default:
+			want[a] = true
+		}
+	}
+	run := func(name string, f func() error) {
+		if !want[name] {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+	w := os.Stdout
+	run("table1", func() error {
+		r, err := cfg.Table1()
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("table2", func() error {
+		r, err := cfg.Table2()
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := cfg.Table3()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable3(w, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := cfg.Fig6()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig6(w, rows)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := cfg.Fig7()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig7(w, rows, cfg)
+		return nil
+	})
+	run("fig8a", func() error {
+		r, err := cfg.Fig8a()
+		if err != nil {
+			return err
+		}
+		r.Print(w, cfg)
+		return nil
+	})
+	run("fig8c", func() error {
+		r, err := cfg.Fig8c()
+		if err != nil {
+			return err
+		}
+		r.Print(w, cfg)
+		return nil
+	})
+	run("fig8d", func() error {
+		r, err := cfg.Fig8d()
+		if err != nil {
+			return err
+		}
+		r.Print(w, cfg)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := cfg.Ablation()
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblation(w, rows)
+		avd, err := cfg.ArrayVsDirect()
+		if err != nil {
+			return err
+		}
+		experiments.PrintArrayVsDirect(w, avd)
+		return nil
+	})
+}

@@ -1,0 +1,84 @@
+// Command questgen generates IBM-Quest-style synthetic datasets and
+// FIMI-dataset-shaped synthetic stand-ins, in FIMI text format.
+//
+// Usage:
+//
+//	questgen -o quest1.fimi -preset quest1 -scale 1000
+//	questgen -o data.fimi -ntx 100000 -avglen 20 -items 5000
+//	questgen -o retail.fimi -profile retail -scale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/quest"
+	"cfpgrowth/internal/synth"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file (required)")
+		preset  = flag.String("preset", "", "quest preset: quest1 or quest2")
+		profile = flag.String("profile", "", "FIMI-like profile: retail, kosarak, connect, accidents, webdocs, chess, mushroom")
+		scale   = flag.Int("scale", 1000, "scale divisor for presets/profiles")
+		ntx     = flag.Int("ntx", 0, "custom: number of transactions")
+		avgLen  = flag.Float64("avglen", 10, "custom: average transaction length")
+		items   = flag.Int("items", 1000, "custom: number of distinct items")
+		pats    = flag.Int("patterns", 2000, "custom: pattern pool size")
+		patLen  = flag.Float64("patlen", 4, "custom: average pattern length")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "questgen: -o is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	start := time.Now()
+	var db dataset.Slice
+	switch {
+	case *profile != "":
+		p, ok := synth.ByName(*profile)
+		if !ok {
+			fail(fmt.Errorf("unknown profile %q", *profile))
+		}
+		db = p.Generate(*scale)
+	case *preset == "quest1":
+		cfg := quest.Quest1(*scale)
+		cfg.Seed = *seed
+		db = quest.Generate(cfg)
+	case *preset == "quest2":
+		cfg := quest.Quest2(*scale)
+		cfg.Seed = *seed
+		db = quest.Generate(cfg)
+	case *ntx > 0:
+		db = quest.Generate(quest.Config{
+			NumTx:         *ntx,
+			AvgTxLen:      *avgLen,
+			NumItems:      *items,
+			NumPatterns:   *pats,
+			AvgPatternLen: *patLen,
+			Seed:          *seed,
+		})
+	default:
+		fail(fmt.Errorf("specify -preset, -profile, or -ntx"))
+	}
+	if err := dataset.WriteFile(*out, db); err != nil {
+		fail(err)
+	}
+	n, d, avg, err := dataset.Validate(db)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("questgen: wrote %s: %d transactions, %d distinct items, avg length %.1f (%.2fs)\n",
+		*out, n, d, avg, time.Since(start).Seconds())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "questgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package cfpgrowth
+
+import (
+	"cfpgrowth/internal/algo/sample"
+	"cfpgrowth/internal/mine"
+)
+
+// MineClosed returns the closed frequent itemsets: those with no proper
+// superset of equal support. Closed itemsets are a lossless condensed
+// representation — every frequent itemset's support is recoverable as
+// the maximum support of its closed supersets.
+func MineClosed(src Source, opts Options) ([]Itemset, error) {
+	sets, err := MineAll(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := mine.FilterClosed(sets)
+	mine.Canonicalize(out)
+	return out, nil
+}
+
+// MineMaximal returns the maximal frequent itemsets: those with no
+// frequent proper superset. Maximal itemsets are the most compact
+// representation of the frequent-itemset border (supports of subsets
+// are not recoverable).
+func MineMaximal(src Source, opts Options) ([]Itemset, error) {
+	sets, err := MineAll(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := mine.FilterMaximal(sets)
+	mine.Canonicalize(out)
+	return out, nil
+}
+
+// MineSampled mines approximately via Toivonen-style sampling: a
+// random fraction of the database is mined at a lowered threshold and
+// every candidate is then verified with one exact counting scan. All
+// returned supports are exact and at least the threshold (perfect
+// precision); itemsets that were unlucky in the sample may be missing
+// (recall < 1). Useful when the database is huge and a fast,
+// almost-complete answer beats an exact one.
+func MineSampled(src Source, opts Options, fraction float64, seed int64) ([]Itemset, error) {
+	sets, _, err := mineSampled(src, opts, fraction, seed, false)
+	return sets, err
+}
+
+// MineSampledCertified is MineSampled with Toivonen's negative-border
+// completeness check: the sample's candidate border is counted exactly
+// alongside the candidates, and complete is true exactly when no border
+// itemset is frequent — in which case the returned sets are provably
+// the full result. When complete is false, re-run with a larger
+// fraction (or just mine exactly).
+func MineSampledCertified(src Source, opts Options, fraction float64, seed int64) (sets []Itemset, complete bool, err error) {
+	return mineSampled(src, opts, fraction, seed, true)
+}
+
+func mineSampled(src Source, opts Options, fraction float64, seed int64, certify bool) ([]Itemset, bool, error) {
+	minSup, err := opts.minSupport(src)
+	if err != nil {
+		return nil, false, err
+	}
+	var sink mine.CollectSink
+	m := sample.Miner{Fraction: fraction, Seed: seed}
+	var complete bool
+	if certify {
+		complete, err = m.MineCertified(src, minSup, &sink)
+	} else {
+		err = m.Mine(src, minSup, &sink)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	mine.Canonicalize(sink.Sets)
+	return sink.Sets, complete, nil
+}
+
+// MineTopK returns the k frequent itemsets of highest support with at
+// least minLen items (minLen ≥ 2 is typical: singletons otherwise
+// dominate by support antitonicity), sorted by descending support.
+func MineTopK(src Source, opts Options, k, minLen int) ([]Itemset, error) {
+	minSup, err := opts.minSupport(src)
+	if err != nil {
+		return nil, err
+	}
+	m, err := opts.miner(nil)
+	if err != nil {
+		return nil, err
+	}
+	sink := &mine.TopKSink{K: k, MinLen: minLen}
+	if err := m.Mine(src, minSup, sink); err != nil {
+		return nil, err
+	}
+	return sink.Result(), nil
+}

@@ -1,0 +1,163 @@
+package cfpgrowth
+
+import (
+	"testing"
+)
+
+func TestMineClosed(t *testing.T) {
+	all, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := MineClosed(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed) == 0 || len(closed) > len(all) {
+		t.Fatalf("|closed| = %d, |all| = %d", len(closed), len(all))
+	}
+	// {1}, {2}, {3} all have support 4 while pairs have 3, so the
+	// singletons are closed here; {1,2,3} (support 2) is closed.
+	found := false
+	for _, s := range closed {
+		if len(s.Items) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("{1,2,3} missing from closed sets")
+	}
+}
+
+func TestMineMaximal(t *testing.T) {
+	maximal, err := MineMaximal(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximal sets: {1,2,3} and {4}.
+	if len(maximal) != 2 {
+		t.Fatalf("maximal = %v", maximal)
+	}
+	closed, err := MineClosed(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maximal) > len(closed) {
+		t.Error("more maximal than closed sets")
+	}
+}
+
+func TestMineTopK(t *testing.T) {
+	top, err := MineTopK(exampleDB, Options{MinSupport: 1}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("got %d itemsets, want 3", len(top))
+	}
+	for i, s := range top {
+		if len(s.Items) < 2 {
+			t.Errorf("itemset %v below MinLen", s.Items)
+		}
+		if i > 0 && s.Support > top[i-1].Support {
+			t.Error("not sorted by descending support")
+		}
+	}
+	// The three 2-itemsets all have support 3: they are the top 3.
+	if top[0].Support != 3 {
+		t.Errorf("top support = %d, want 3", top[0].Support)
+	}
+}
+
+func TestMineTopKWithOtherAlgorithm(t *testing.T) {
+	a, err := MineTopK(exampleDB, Options{MinSupport: 1}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MineTopK(exampleDB, Options{MinSupport: 1, Algorithm: "eclat"}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Support != b[i].Support {
+			t.Errorf("rank %d support %d vs %d", i, a[i].Support, b[i].Support)
+		}
+	}
+}
+
+func TestParallelOption(t *testing.T) {
+	want, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MineAll(exampleDB, Options{MinSupport: 2, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parallel found %d itemsets, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Support != got[i].Support {
+			t.Error("parallel results differ after canonicalization")
+			break
+		}
+	}
+}
+
+func TestMineSampledExactPrecision(t *testing.T) {
+	var db Transactions
+	for i := 0; i < 50; i++ {
+		db = append(db, []Item{1, 2}, []Item{2, 3})
+	}
+	sets, err := MineSampled(db, Options{MinSupport: 40}, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := MineAll(db, Options{MinSupport: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := map[string]uint64{}
+	for _, s := range exact {
+		sup[itemsKey(s.Items)] = s.Support
+	}
+	for _, s := range sets {
+		want, ok := sup[itemsKey(s.Items)]
+		if !ok || want != s.Support {
+			t.Errorf("sampled itemset %v support %d not exact (want %d, present %v)", s.Items, s.Support, want, ok)
+		}
+	}
+}
+
+func TestMineSampledCertified(t *testing.T) {
+	var db Transactions
+	for i := 0; i < 200; i++ {
+		db = append(db, []Item{1, 2, 3}, []Item{2, 3, 4})
+	}
+	sets, complete, err := MineSampledCertified(db, Options{MinSupport: 100}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Skip("sampling unlucky; certification declined (allowed)")
+	}
+	exact, err := MineAll(db, Options{MinSupport: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != len(exact) {
+		t.Errorf("certified-complete result has %d sets, exact %d", len(sets), len(exact))
+	}
+}
+
+func itemsKey(items []Item) string {
+	b := make([]byte, 0, 4*len(items))
+	for _, v := range items {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,112 @@
+package cfpgrowth
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSVLayout selects how a CSV file encodes transactions.
+type CSVLayout int
+
+const (
+	// CSVWide: one transaction per row; every non-empty cell is an
+	// item label. ("bread,milk,eggs")
+	CSVWide CSVLayout = iota
+	// CSVLong: one (transaction id, item label) pair per row, the
+	// usual shape of order-lines exports; rows are grouped by the id
+	// column (ids need not be consecutive).
+	CSVLong
+)
+
+// CSVOptions configures ReadCSV.
+type CSVOptions struct {
+	Layout CSVLayout
+	// Comma is the field separator (0 = ',').
+	Comma rune
+	// Header skips the first row.
+	Header bool
+	// TIDColumn and ItemColumn are the 0-based columns of the
+	// transaction id and the item label (CSVLong only; defaults 0, 1).
+	TIDColumn, ItemColumn int
+}
+
+// ReadCSV parses a CSV file of string-labeled transactions into
+// Transactions plus the LabelEncoder that maps items back to labels.
+// This is the usual ingestion path for real-world data (order lines,
+// page views), which rarely arrives in the FIMI integer format.
+func ReadCSV(r io.Reader, opts CSVOptions) (Transactions, *LabelEncoder, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	var enc LabelEncoder
+	var db Transactions
+	switch opts.Layout {
+	case CSVWide:
+		first := true
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("cfpgrowth: csv: %w", err)
+			}
+			if first && opts.Header {
+				first = false
+				continue
+			}
+			first = false
+			var labels []string
+			for _, cell := range rec {
+				if cell != "" {
+					labels = append(labels, cell)
+				}
+			}
+			db = append(db, enc.Encode(labels))
+		}
+	case CSVLong:
+		tidCol, itemCol := opts.TIDColumn, opts.ItemColumn
+		if tidCol == 0 && itemCol == 0 {
+			itemCol = 1
+		}
+		groups := map[string][]Item{}
+		var order []string
+		first := true
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("cfpgrowth: csv: %w", err)
+			}
+			if first && opts.Header {
+				first = false
+				continue
+			}
+			first = false
+			if len(rec) <= tidCol || len(rec) <= itemCol {
+				return nil, nil, fmt.Errorf("cfpgrowth: csv: row has %d fields, need columns %d and %d",
+					len(rec), tidCol, itemCol)
+			}
+			tid, label := rec[tidCol], rec[itemCol]
+			if label == "" {
+				continue
+			}
+			if _, seen := groups[tid]; !seen {
+				order = append(order, tid)
+			}
+			groups[tid] = append(groups[tid], enc.Encode([]string{label})[0])
+		}
+		for _, tid := range order {
+			db = append(db, groups[tid])
+		}
+	default:
+		return nil, nil, fmt.Errorf("cfpgrowth: unknown CSV layout %d", opts.Layout)
+	}
+	return db, &enc, nil
+}

@@ -1,0 +1,86 @@
+package cfpgrowth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVWide(t *testing.T) {
+	in := "basket,items,,\nbread,milk\nbread,milk,eggs\nmilk\n"
+	db, enc, err := ReadCSV(strings.NewReader(in), CSVOptions{Layout: CSVWide, Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 3 {
+		t.Fatalf("got %d transactions, want 3: %v", len(db), db)
+	}
+	sets, err := MineAll(db, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sets {
+		labels := enc.DecodeSet(s.Items)
+		if len(labels) == 2 {
+			found = true
+			if s.Support != 2 {
+				t.Errorf("support(%v) = %d, want 2", labels, s.Support)
+			}
+		}
+	}
+	if !found {
+		t.Error("pair {bread, milk} not mined from CSV input")
+	}
+}
+
+func TestReadCSVLong(t *testing.T) {
+	in := "order_id,product\n101,bread\n101,milk\n102,bread\n103,milk\n101,eggs\n"
+	db, enc, err := ReadCSV(strings.NewReader(in), CSVOptions{Layout: CSVLong, Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orders 101 (3 items, lines non-contiguous), 102, 103.
+	if len(db) != 3 {
+		t.Fatalf("got %d transactions, want 3", len(db))
+	}
+	if len(db[0]) != 3 {
+		t.Errorf("order 101 has %d items, want 3 (grouping across non-adjacent rows)", len(db[0]))
+	}
+	if enc.NumLabels() != 3 {
+		t.Errorf("labels = %d, want 3", enc.NumLabels())
+	}
+}
+
+func TestReadCSVLongCustomColumns(t *testing.T) {
+	in := "x;42;bread\nx;42;milk\nx;43;bread\n"
+	db, _, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		Layout: CSVLong, Comma: ';', TIDColumn: 1, ItemColumn: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 2 || len(db[0]) != 2 {
+		t.Errorf("db = %v", db)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, _, err := ReadCSV(strings.NewReader("a,b\n"), CSVOptions{Layout: CSVLayout(9)}); err == nil {
+		t.Error("unknown layout accepted")
+	}
+	// Long layout with a row too short for the item column.
+	if _, _, err := ReadCSV(strings.NewReader("only-one-field\n"), CSVOptions{Layout: CSVLong}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestReadCSVEmptyCellsSkipped(t *testing.T) {
+	in := "bread,,milk\n,,\n"
+	db, _, err := ReadCSV(strings.NewReader(in), CSVOptions{Layout: CSVWide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db) != 2 || len(db[0]) != 2 || len(db[1]) != 0 {
+		t.Errorf("db = %v", db)
+	}
+}

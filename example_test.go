@@ -1,0 +1,81 @@
+package cfpgrowth_test
+
+import (
+	"fmt"
+
+	"cfpgrowth"
+)
+
+// The basic mining loop: a handler is invoked once per frequent
+// itemset.
+func ExampleMine() {
+	db := cfpgrowth.Transactions{
+		{1, 2, 3},
+		{1, 2},
+		{2, 3},
+		{1, 2, 3},
+	}
+	var pairs int
+	_ = cfpgrowth.Mine(db, cfpgrowth.Options{MinSupport: 3},
+		func(items []cfpgrowth.Item, support uint64) error {
+			if len(items) == 2 {
+				pairs++
+			}
+			return nil
+		})
+	fmt.Println("frequent pairs:", pairs)
+	// Output: frequent pairs: 2
+}
+
+// MineAll materializes the result, canonicalized by size then
+// lexicographically.
+func ExampleMineAll() {
+	db := cfpgrowth.Transactions{{1, 2}, {1, 2}, {2, 3}}
+	sets, _ := cfpgrowth.MineAll(db, cfpgrowth.Options{MinSupport: 2})
+	for _, s := range sets {
+		fmt.Println(s.Items, s.Support)
+	}
+	// Output:
+	// [1] 2
+	// [2] 3
+	// [1 2] 2
+}
+
+// Association rules with confidence and lift derive directly from the
+// mined itemsets.
+func ExampleRules() {
+	db := cfpgrowth.Transactions{{1, 2}, {1, 2}, {1, 2}, {1}, {2}}
+	sets, _ := cfpgrowth.MineAll(db, cfpgrowth.Options{MinSupport: 2})
+	rules := cfpgrowth.Rules(sets, cfpgrowth.RuleOptions{
+		MinConfidence: 0.7,
+		NumTx:         uint64(len(db)),
+	})
+	for _, r := range rules {
+		fmt.Printf("%v => %v conf=%.2f\n", r.Antecedent, r.Consequent, r.Confidence)
+	}
+	// Output:
+	// [1] => [2] conf=0.75
+	// [2] => [1] conf=0.75
+}
+
+// An Index is built once and mined repeatedly at different supports.
+func ExampleBuildIndex() {
+	db := cfpgrowth.Transactions{{1, 2}, {1, 2}, {1, 3}, {1}}
+	ix, _ := cfpgrowth.BuildIndex(db, cfpgrowth.Options{MinSupport: 2})
+	at2, _ := ix.MineAll(2)
+	at3, _ := ix.MineAll(3)
+	fmt.Println(len(at2), "itemsets at support 2,", len(at3), "at support 3")
+	// Output: 3 itemsets at support 2, 1 at support 3
+}
+
+// Closed itemsets are a lossless condensed representation.
+func ExampleMineClosed() {
+	db := cfpgrowth.Transactions{{1, 2}, {1, 2}, {1, 2, 3}}
+	closed, _ := cfpgrowth.MineClosed(db, cfpgrowth.Options{MinSupport: 1})
+	for _, s := range closed {
+		fmt.Println(s.Items, s.Support)
+	}
+	// Output:
+	// [1 2] 3
+	// [1 2 3] 1
+}

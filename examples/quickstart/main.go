@@ -1,0 +1,52 @@
+// Quickstart: mine frequent itemsets from a small in-memory database
+// with the default CFP-growth algorithm, then compare the memory
+// footprint of the compressed structures against the FP-tree baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cfpgrowth"
+)
+
+func main() {
+	// A toy market-basket database: items are product identifiers.
+	db := cfpgrowth.Transactions{
+		{1, 2, 3},
+		{1, 2},
+		{1, 3},
+		{2, 3},
+		{1, 2, 3, 4},
+		{4},
+	}
+
+	fmt.Println("frequent itemsets (minimum support 2):")
+	err := cfpgrowth.Mine(db, cfpgrowth.Options{MinSupport: 2},
+		func(items []cfpgrowth.Item, support uint64) error {
+			fmt.Printf("  %v  support=%d\n", items, support)
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same run with any other registered algorithm produces the
+	// same answer.
+	total, byLen, err := cfpgrowth.Count(db, cfpgrowth.Options{MinSupport: 2, Algorithm: "fpgrowth"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfpgrowth agrees: %d itemsets, by size %v\n", total, byLen[1:])
+
+	// How well do the paper's structures compress this database?
+	cs, err := cfpgrowth.AnalyzeCompression(db, cfpgrowth.Options{MinSupport: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompression: %d tree nodes\n", cs.FPTreeNodes)
+	fmt.Printf("  FP-tree      %4d B (28 B/node; 40 B/node in common implementations)\n", cs.FPTreeBytes)
+	fmt.Printf("  CFP-tree     %4d B (%.2f B/node: %d standard, %d chain, %d embedded)\n",
+		cs.CFPTreeBytes, cs.CFPTreeAvgNode, cs.StdNodes, cs.ChainNodes, cs.EmbeddedLeaves)
+	fmt.Printf("  CFP-array    %4d B (%.2f B/node)\n", cs.CFPArrayBytes, cs.CFPArrayAvgNode)
+}

@@ -1,0 +1,3 @@
+module cfpgrowth
+
+go 1.22

@@ -1,0 +1,200 @@
+package cfpgrowth
+
+import (
+	"sort"
+
+	"fmt"
+	"io"
+	"os"
+
+	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/core"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+// Index is a persistent compressed itemset index: a CFP-array built
+// once from a database at some base support, which can then be mined
+// repeatedly — at any support not below the base — without touching the
+// original data. Because the CFP-array is already a compact byte
+// structure (typically 3–5 bytes per FP-tree node), it serializes
+// almost verbatim.
+type Index struct {
+	arr *core.Array
+	// BaseSupport is the absolute support the index was built at;
+	// itemsets below it are not represented.
+	BaseSupport uint64
+	// NumTx is the number of transactions in the source database.
+	NumTx uint64
+	// rankOf lazily maps external items to ranks for point queries.
+	rankOf map[Item]uint32
+}
+
+// BuildIndex scans src twice and builds the index at the given options'
+// support threshold (the base support).
+func BuildIndex(src Source, opts Options) (*Index, error) {
+	minSup, err := opts.minSupport(src)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return nil, err
+	}
+	rec := dataset.NewRecoder(counts, minSup)
+	n := rec.NumFrequent()
+	names := make([]uint32, n)
+	sups := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		names[i] = rec.Decode(uint32(i))
+		sups[i] = rec.Support(uint32(i))
+	}
+	tree := core.NewTree(arena.New(), core.Config{
+		MaxChainLen:   opts.Tree.MaxChainLen,
+		DisableChains: opts.Tree.DisableChains,
+		DisableEmbed:  opts.Tree.DisableEmbed,
+	}, names, sups)
+	var buf []uint32
+	err = src.Scan(func(tx []Item) error {
+		buf = rec.Encode(tx, buf[:0])
+		tree.Insert(buf, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		arr:         core.Convert(tree),
+		BaseSupport: minSup,
+		NumTx:       counts.NumTx,
+	}, nil
+}
+
+// Bytes returns the index's in-memory footprint (triples + item index).
+func (ix *Index) Bytes() int64 { return ix.arr.Bytes() }
+
+// SupportOf returns the exact support of a specific itemset — the
+// paper's §2.1 point query, answered straight from the compressed
+// structure without a mining run. Items absent from the index (below
+// its base support) yield 0.
+func (ix *Index) SupportOf(items []Item) uint64 {
+	if len(items) == 0 {
+		return 0
+	}
+	if ix.rankOf == nil {
+		ix.rankOf = make(map[Item]uint32, ix.arr.NumItems())
+		for rk := 0; rk < ix.arr.NumItems(); rk++ {
+			ix.rankOf[ix.arr.ItemName(uint32(rk))] = uint32(rk)
+		}
+	}
+	ranks := make([]uint32, 0, len(items))
+	for _, it := range items {
+		rk, ok := ix.rankOf[it]
+		if !ok {
+			return 0
+		}
+		ranks = append(ranks, rk)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for i := 1; i < len(ranks); i++ {
+		if ranks[i] == ranks[i-1] {
+			return 0 // duplicate items: not a set
+		}
+	}
+	return ix.arr.SupportOf(ranks)
+}
+
+// NumNodes returns the number of FP-tree nodes represented.
+func (ix *Index) NumNodes() int { return ix.arr.NumNodes() }
+
+// Mine emits every itemset with support ≥ minSupport. minSupport must
+// not be below the index's base support (itemsets under the base were
+// discarded at build time).
+func (ix *Index) Mine(minSupport uint64, fn Handler) error {
+	if minSupport < ix.BaseSupport {
+		return fmt.Errorf("cfpgrowth: index built at support %d cannot mine at %d",
+			ix.BaseSupport, minSupport)
+	}
+	return core.MineArray(ix.arr, core.Config{}, minSupport, handlerSink{fn: fn}, nil, 0)
+}
+
+// MineAll materializes every itemset at minSupport.
+func (ix *Index) MineAll(minSupport uint64) ([]Itemset, error) {
+	var sink mine.CollectSink
+	if minSupport < ix.BaseSupport {
+		return nil, fmt.Errorf("cfpgrowth: index built at support %d cannot mine at %d",
+			ix.BaseSupport, minSupport)
+	}
+	if err := core.MineArray(ix.arr, core.Config{}, minSupport, &sink, nil, 0); err != nil {
+		return nil, err
+	}
+	mine.Canonicalize(sink.Sets)
+	return sink.Sets, nil
+}
+
+// WriteTo serializes the index (the CFP-array plus a small header) with
+// a checksum. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	var hdr [16]byte
+	putU64(hdr[0:], ix.BaseSupport)
+	putU64(hdr[8:], ix.NumTx)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := ix.arr.WriteTo(w)
+	return n + 16, err
+}
+
+// ReadIndex deserializes an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("cfpgrowth: truncated index header: %w", err)
+	}
+	arr, err := core.ReadArray(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		arr:         arr,
+		BaseSupport: getU64(hdr[0:]),
+		NumTx:       getU64(hdr[8:]),
+	}, nil
+}
+
+// SaveIndex writes the index to a file.
+func SaveIndex(path string, ix *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index from a file.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

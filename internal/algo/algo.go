@@ -1,0 +1,57 @@
+// Package algo registers every frequent-itemset miner in the
+// repository under a stable name, for use by the CLI tools, the
+// experiment harness, and the cross-validation tests.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"cfpgrowth/internal/algo/afopt"
+	"cfpgrowth/internal/algo/apriori"
+	"cfpgrowth/internal/algo/ctpro"
+	"cfpgrowth/internal/algo/eclat"
+	"cfpgrowth/internal/algo/fparray"
+	"cfpgrowth/internal/algo/nonordfp"
+	"cfpgrowth/internal/algo/tiny"
+	"cfpgrowth/internal/core"
+	"cfpgrowth/internal/fptree"
+	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/pfp"
+)
+
+// factories maps algorithm names to constructors taking a memory
+// tracker.
+var factories = map[string]func(mine.MemTracker) mine.Miner{
+	"cfpgrowth":     func(t mine.MemTracker) mine.Miner { return core.Growth{Track: t} },
+	"cfpgrowth-par": func(t mine.MemTracker) mine.Miner { return core.ParallelGrowth{Track: t} },
+	"pfp":           func(t mine.MemTracker) mine.Miner { return pfp.Miner{Track: t} },
+	"fpgrowth":      func(t mine.MemTracker) mine.Miner { return fptree.Growth{Track: t} },
+	"apriori":       func(t mine.MemTracker) mine.Miner { return apriori.Miner{Track: t} },
+	"eclat":         func(t mine.MemTracker) mine.Miner { return eclat.Miner{Track: t} },
+	"nonordfp":      func(t mine.MemTracker) mine.Miner { return nonordfp.Miner{Track: t} },
+	"fparray":       func(t mine.MemTracker) mine.Miner { return fparray.Miner{Track: t} },
+	"tiny":          func(t mine.MemTracker) mine.Miner { return tiny.Miner{Track: t} },
+	"afopt":         func(t mine.MemTracker) mine.Miner { return afopt.Miner{Track: t} },
+	"ctpro":         func(t mine.MemTracker) mine.Miner { return ctpro.Miner{Track: t} },
+}
+
+// New returns the miner registered under name, reporting memory to
+// track (which may be nil).
+func New(name string, track mine.MemTracker) (mine.Miner, error) {
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (have %v)", name, Names())
+	}
+	return f(track), nil
+}
+
+// Names lists the registered algorithms, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package ctpro
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func TestInsertSharing(t *testing.T) {
+	tr := newTree([]uint32{0, 1, 2}, []uint64{0, 0, 0})
+	tr.insert([]uint32{0, 1, 2}, 1)
+	tr.insert([]uint32{0, 1}, 2)
+	tr.insert([]uint32{0, 2}, 1)
+	if tr.numNodes() != 4 {
+		t.Fatalf("numNodes = %d, want 4 (shared prefix)", tr.numNodes())
+	}
+	// Count of the shared 0-node: 1+2+1 = 4.
+	n0 := tr.itemNodes[0][0]
+	if tr.nodes[n0].count != 4 {
+		t.Errorf("count(0) = %d, want 4", tr.nodes[n0].count)
+	}
+	// Item 2 occurs as two separate nodes.
+	if len(tr.itemNodes[2]) != 2 {
+		t.Errorf("item 2 nodes = %d, want 2", len(tr.itemNodes[2]))
+	}
+}
+
+func TestSiblingChains(t *testing.T) {
+	tr := newTree(make([]uint32, 4), make([]uint64, 4))
+	tr.insert([]uint32{0}, 1)
+	tr.insert([]uint32{1}, 1)
+	tr.insert([]uint32{2}, 1)
+	// All three are siblings under the root via the sibling chain.
+	seen := map[uint32]bool{}
+	for c := tr.nodes[0].child; c != 0; c = tr.nodes[c].sibling {
+		seen[tr.nodes[c].item] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("root sibling chain holds %d items, want 3", len(seen))
+	}
+}
+
+func TestParentWalk(t *testing.T) {
+	tr := newTree(make([]uint32, 3), make([]uint64, 3))
+	tr.insert([]uint32{0, 1, 2}, 1)
+	leaf := tr.itemNodes[2][0]
+	mid := tr.nodes[leaf].parent
+	top := tr.nodes[mid].parent
+	if tr.nodes[mid].item != 1 || tr.nodes[top].item != 0 || tr.nodes[top].parent != 0 {
+		t.Error("parent chain broken")
+	}
+}
+
+func TestMinerEndToEnd(t *testing.T) {
+	db := dataset.Slice{{1, 2, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}}
+	got, err := mine.Run(Miner{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(mine.BruteForce{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("ctpro", got, "bruteforce", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestNodeCostBelowBaseline(t *testing.T) {
+	// CT-PRO's compact nodes (20 B) sit between the CFP structures and
+	// the 40 B baseline — the relation Figure 8(b) depends on.
+	if NodeBytes >= 40 || NodeBytes <= 6 {
+		t.Errorf("NodeBytes = %d, expected between CFP (~2-6) and baseline (40)", NodeBytes)
+	}
+}

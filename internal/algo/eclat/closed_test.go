@@ -1,0 +1,139 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func TestClosedMinerTiny(t *testing.T) {
+	db := dataset.Slice{
+		{1, 2, 3},
+		{1, 2},
+		{1, 3},
+		{2, 3},
+		{1, 2, 3, 4},
+		{4},
+	}
+	got, err := mine.Run(ClosedMiner{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := mine.Run(mine.BruteForce{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mine.FilterClosed(all)
+	mine.Canonicalize(want)
+	if d := mine.Diff("eclat-closed", got, "filter-closed", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestClosedMinerItemInEveryTransaction(t *testing.T) {
+	// An item contained in every transaction forms a closed singleton
+	// (the closure of the root).
+	db := dataset.Slice{{1, 2}, {1, 3}, {1}}
+	got, err := mine.Run(ClosedMiner{}, db, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range got {
+		if len(s.Items) == 1 && s.Items[0] == 1 {
+			found = true
+			if s.Support != 3 {
+				t.Errorf("support({1}) = %d, want 3", s.Support)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("closed singleton {1} missing: %v", got)
+	}
+}
+
+func TestClosedMinerNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := make(dataset.Slice, 50)
+	for i := range db {
+		tx := make([]uint32, 1+rng.Intn(6))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(8))
+		}
+		db[i] = tx
+	}
+	var sink mine.CollectSink
+	if err := (ClosedMiner{}).Mine(db, 2, &sink); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range sink.Sets {
+		k := ""
+		for _, it := range s.Items {
+			k += string(rune(it)) + ","
+		}
+		if seen[k] {
+			t.Fatalf("closed set %v emitted twice", s.Items)
+		}
+		seen[k] = true
+	}
+}
+
+func TestClosedMinerMatchesFilterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 20; trial++ {
+		db := make(dataset.Slice, 20+rng.Intn(50))
+		nItems := 4 + rng.Intn(8)
+		for i := range db {
+			tx := make([]uint32, 1+rng.Intn(nItems))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(nItems))
+			}
+			db[i] = tx
+		}
+		for _, minSup := range []uint64{1, 2, 4} {
+			got, err := mine.Run(ClosedMiner{}, db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all, err := mine.Run(mine.BruteForce{}, db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mine.FilterClosed(all)
+			mine.Canonicalize(want)
+			if d := mine.Diff("eclat-closed", got, "filter-closed", want); d != "" {
+				t.Fatalf("trial %d minSup %d:\n%s", trial, minSup, d)
+			}
+		}
+	}
+}
+
+func TestClosedMinerEmpty(t *testing.T) {
+	var sink mine.CountSink
+	if err := (ClosedMiner{}).Mine(dataset.Slice{}, 1, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted from empty database")
+	}
+}
+
+func BenchmarkClosedMiner(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := make(dataset.Slice, 500)
+	for i := range db {
+		tx := make([]uint32, 3+rng.Intn(10))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(30))
+		}
+		db[i] = tx
+	}
+	for i := 0; i < b.N; i++ {
+		if err := (ClosedMiner{}).Mine(db, 20, &mine.CountSink{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

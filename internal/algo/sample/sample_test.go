@@ -1,0 +1,186 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func TestSampleSupportsAreExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	db := make(dataset.Slice, 600)
+	for i := range db {
+		tx := make([]uint32, 2+rng.Intn(8))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(20))
+		}
+		db[i] = tx
+	}
+	exact, err := mine.Run(mine.BruteForce{}, db, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSup := map[string]uint64{}
+	key := func(items []uint32) string {
+		b := make([]byte, len(items))
+		for i, it := range items {
+			b[i] = byte(it)
+		}
+		return string(b)
+	}
+	for _, s := range exact {
+		exactSup[key(s.Items)] = s.Support
+	}
+	got, err := mine.Run(Miner{Fraction: 0.3, Seed: 7}, db, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("sampling found nothing")
+	}
+	// Perfect precision with exact supports.
+	for _, s := range got {
+		want, ok := exactSup[key(s.Items)]
+		if !ok {
+			t.Errorf("false positive: %v (support %d)", s.Items, s.Support)
+			continue
+		}
+		if s.Support != want {
+			t.Errorf("itemset %v support %d, exact %d", s.Items, s.Support, want)
+		}
+	}
+	// High recall at 30% sampling with default slack.
+	recall := float64(len(got)) / float64(len(exact))
+	if recall < 0.9 {
+		t.Errorf("recall %.2f below 0.9 (%d of %d)", recall, len(got), len(exact))
+	}
+	t.Logf("recall %.3f (%d/%d)", recall, len(got), len(exact))
+}
+
+func TestSampleDeterministicForSeed(t *testing.T) {
+	db := dataset.Slice{{1, 2}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}}
+	a, err := mine.Run(Miner{Fraction: 0.8, Seed: 5}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mine.Run(Miner{Fraction: 0.8, Seed: 5}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("run1", a, "run2", b); d != "" {
+		t.Errorf("same seed, different results:\n%s", d)
+	}
+}
+
+func TestSampleEmptyDatabase(t *testing.T) {
+	var sink mine.CountSink
+	if err := (Miner{}).Mine(dataset.Slice{}, 1, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted from empty database")
+	}
+}
+
+func TestSampleFullFractionIsExact(t *testing.T) {
+	// Fraction 1 samples everything: the result must be complete.
+	db := dataset.Slice{{1, 2, 3}, {1, 2}, {1, 3}, {2, 3}, {1, 2, 3}}
+	got, err := mine.Run(Miner{Fraction: 1.0, Seed: 1}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(mine.BruteForce{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("sample", got, "bruteforce", want); d != "" {
+		t.Errorf("fraction-1 sampling not exact:\n%s", d)
+	}
+}
+
+func TestSampleDefaultsApplied(t *testing.T) {
+	// Invalid fraction/slack fall back to defaults rather than
+	// misbehaving.
+	db := dataset.Slice{{1, 1, 2}, {1, 2}, {1}}
+	if err := (Miner{Fraction: -3, Slack: 9}).Mine(db, 1, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMineCertifiedCompleteness: a certified-complete run must contain
+// exactly the brute-force result; an incomplete certification is
+// allowed to miss itemsets but never to fabricate them.
+func TestMineCertifiedCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	certified, incomplete := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		db := make(dataset.Slice, 200)
+		for i := range db {
+			tx := make([]uint32, 2+rng.Intn(6))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(15))
+			}
+			db[i] = tx
+		}
+		exact, err := mine.Run(mine.BruteForce{}, db, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sink mine.CollectSink
+		complete, err := (Miner{Fraction: 0.4, Seed: int64(trial)}).MineCertified(db, 25, &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mine.Canonicalize(sink.Sets)
+		if complete {
+			certified++
+			if d := mine.Diff("certified", sink.Sets, "bruteforce", exact); d != "" {
+				t.Fatalf("trial %d: certified-complete result differs from exact:\n%s", trial, d)
+			}
+		} else {
+			incomplete++
+			if len(sink.Sets) > len(exact) {
+				t.Fatalf("trial %d: more itemsets than exact", trial)
+			}
+		}
+	}
+	t.Logf("certified complete: %d/25, incomplete: %d/25", certified, incomplete)
+	if certified == 0 {
+		t.Error("certification never succeeded at 40%% sampling; border logic suspect")
+	}
+}
+
+// TestMineCertifiedDetectsMiss: with a tiny sample the certification
+// must (almost surely) refuse to certify when itemsets were missed.
+func TestMineCertifiedDetectsMiss(t *testing.T) {
+	db := make(dataset.Slice, 400)
+	for i := range db {
+		// Item 1 frequent everywhere; items 2..9 frequent in halves.
+		tx := []uint32{1}
+		if i%2 == 0 {
+			tx = append(tx, 2, 3)
+		} else {
+			tx = append(tx, 4, 5)
+		}
+		db[i] = tx
+	}
+	missedAnyUndetected := false
+	for seed := int64(0); seed < 10; seed++ {
+		var sink mine.CollectSink
+		complete, err := (Miner{Fraction: 0.02, Slack: 0.01, Seed: seed}).MineCertified(db, 100, &sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := mine.Run(mine.BruteForce{}, db, 100)
+		mine.Canonicalize(sink.Sets)
+		missed := len(sink.Sets) < len(exact)
+		if missed && complete {
+			missedAnyUndetected = true
+		}
+	}
+	if missedAnyUndetected {
+		t.Error("certification claimed completeness despite missed itemsets")
+	}
+}

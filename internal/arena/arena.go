@@ -1,0 +1,186 @@
+// Package arena implements the simple memory manager of the paper's
+// Appendix A. Memory is a single contiguous byte region split into a
+// used part and an unused part by a next-free pointer. Freed chunks are
+// kept in per-size queues; an allocation of b bytes first tries the
+// b-byte queue and otherwise advances the next-free pointer. This
+// avoids per-node allocator calls, keeps chunks unpadded, and yields
+// small offsets that compress well.
+//
+// Offsets returned by the arena are stable across growth (the backing
+// slice may be reallocated, but offsets index into it logically) and
+// always fit in 40 bits with a high byte below 0xFF, as required by the
+// embedded-leaf marker convention of the CFP-tree (§3.3).
+package arena
+
+import (
+	"fmt"
+
+	"cfpgrowth/internal/encoding"
+)
+
+// MaxChunk is the largest chunk size the per-size free queues manage.
+// Standard CFP-tree nodes occupy 2–24 bytes; a chain node of the
+// maximum configurable length (255 elements) needs 2+255+1+4+5 = 267
+// bytes, so 272 covers every encodable node with headroom. The
+// per-size queue array this implies is a few KB — negligible.
+const MaxChunk = 272
+
+// linkLen is the number of bytes of a freed chunk used to store the
+// offset of the next chunk in its free queue. Chunks smaller than
+// linkLen are queued on a small side list instead (the paper's minimum
+// node is 7 bytes, so it never needs this case; our minimum standard
+// node is 3 bytes).
+const linkLen = encoding.Ptr40Len
+
+// Arena is a growable byte region with per-size free queues. The zero
+// value is not usable; call New.
+type Arena struct {
+	buf  []byte
+	next uint64 // next-free pointer; buf[next:] is unused
+	// freeHead[s] is the offset of the first free s-byte chunk, or 0.
+	freeHead [MaxChunk + 1]uint64
+	// smallFree holds freed chunks too small to store an in-chunk link.
+	smallFree [linkLen][]uint64
+	freeBytes uint64
+	allocs    uint64
+	frees     uint64
+	reuses    uint64
+}
+
+// New returns an empty arena. Offset 0 is reserved (it doubles as the
+// empty-queue sentinel), so the first allocation starts at offset 1.
+func New() *Arena {
+	a := &Arena{buf: make([]byte, 64)}
+	a.next = 1
+	return a
+}
+
+// Alloc returns the offset of a fresh size-byte chunk. It panics if
+// size is not in [1, MaxChunk] or if the arena would exceed the 40-bit
+// addressing limit; both indicate a programming error in the caller.
+func (a *Arena) Alloc(size int) uint64 {
+	if size < 1 || size > MaxChunk {
+		panic(fmt.Sprintf("arena: invalid chunk size %d", size))
+	}
+	a.allocs++
+	if size < linkLen {
+		if q := a.smallFree[size]; len(q) > 0 {
+			off := q[len(q)-1]
+			a.smallFree[size] = q[:len(q)-1]
+			a.freeBytes -= uint64(size)
+			a.reuses++
+			return off
+		}
+	} else if off := a.freeHead[size]; off != 0 {
+		a.freeHead[size] = encoding.Ptr40(a.buf[off:])
+		a.freeBytes -= uint64(size)
+		a.reuses++
+		return off
+	}
+	off := a.next
+	end := off + uint64(size)
+	if end > encoding.MaxPtr40 {
+		panic("arena: exceeded 40-bit addressing limit")
+	}
+	if end > uint64(len(a.buf)) {
+		a.grow(end)
+	}
+	a.next = end
+	return off
+}
+
+// Free returns the size-byte chunk at off to its free queue. The
+// chunk's contents become undefined.
+func (a *Arena) Free(off uint64, size int) {
+	if size < 1 || size > MaxChunk {
+		panic(fmt.Sprintf("arena: invalid chunk size %d", size))
+	}
+	if off == 0 || off+uint64(size) > a.next {
+		panic(fmt.Sprintf("arena: free of invalid chunk [%d,%d)", off, off+uint64(size)))
+	}
+	a.frees++
+	a.freeBytes += uint64(size)
+	if size < linkLen {
+		a.smallFree[size] = append(a.smallFree[size], off)
+		return
+	}
+	encoding.PutPtr40(a.buf[off:], a.freeHead[size])
+	a.freeHead[size] = off
+}
+
+// Realloc frees the oldSize chunk at off and returns a newSize chunk.
+// Contents are not copied: per Appendix A the caller re-serializes the
+// grown or shrunk node into the new chunk anyway. If the sizes are
+// equal the chunk is returned unchanged.
+func (a *Arena) Realloc(off uint64, oldSize, newSize int) uint64 {
+	if oldSize == newSize {
+		return off
+	}
+	// Allocate first so that the replacement never lands on the chunk
+	// being vacated while the caller still reads from it.
+	nu := a.Alloc(newSize)
+	a.Free(off, oldSize)
+	return nu
+}
+
+// Bytes returns the n-byte slice backing the chunk at off. The slice is
+// valid until the next Alloc/Realloc (growth may move the backing
+// array).
+func (a *Arena) Bytes(off uint64, n int) []byte {
+	return a.buf[off : off+uint64(n)]
+}
+
+// Byte returns the single byte at off.
+func (a *Arena) Byte(off uint64) byte { return a.buf[off] }
+
+// Tail returns the slice from off to the next-free pointer. Decoders
+// that discover a node's length as they parse use this to avoid a
+// separate sizing pass. The slice is valid until the next
+// Alloc/Realloc.
+func (a *Arena) Tail(off uint64) []byte { return a.buf[off:a.next] }
+
+// Extent returns the position of the next-free pointer: the total
+// number of bytes ever carved out of the region (including chunks
+// currently on free queues). This is the paper's notion of the memory
+// consumed by the structure.
+func (a *Arena) Extent() uint64 { return a.next }
+
+// Live returns the number of bytes in chunks currently allocated
+// (extent minus the reserved first byte and all free-queue bytes).
+func (a *Arena) Live() uint64 { return a.next - 1 - a.freeBytes }
+
+// FreeBytes returns the number of bytes sitting on free queues.
+func (a *Arena) FreeBytes() uint64 { return a.freeBytes }
+
+// Stats reports allocation counters: total allocations, frees, and how
+// many allocations were served from a free queue.
+func (a *Arena) Stats() (allocs, frees, reuses uint64) {
+	return a.allocs, a.frees, a.reuses
+}
+
+// Reset empties the arena, retaining its backing buffer for reuse. This
+// mirrors CFP-growth recycling the build-phase region for the mine
+// phase (§3.5).
+func (a *Arena) Reset() {
+	a.next = 1
+	a.freeBytes = 0
+	a.allocs, a.frees, a.reuses = 0, 0, 0
+	a.freeHead = [MaxChunk + 1]uint64{}
+	for i := range a.smallFree {
+		a.smallFree[i] = a.smallFree[i][:0]
+	}
+}
+
+func (a *Arena) grow(need uint64) {
+	size := uint64(len(a.buf))
+	for size < need {
+		if size < 1<<20 {
+			size *= 2
+		} else {
+			size += size / 2
+		}
+	}
+	nb := make([]byte, size)
+	copy(nb, a.buf[:a.next])
+	a.buf = nb
+}

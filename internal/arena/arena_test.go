@@ -1,0 +1,275 @@
+package arena
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocSequential(t *testing.T) {
+	a := New()
+	off1 := a.Alloc(7)
+	off2 := a.Alloc(24)
+	if off1 != 1 {
+		t.Errorf("first alloc at %d, want 1 (offset 0 reserved)", off1)
+	}
+	if off2 != 8 {
+		t.Errorf("second alloc at %d, want 8 (unpadded chunks)", off2)
+	}
+	if a.Extent() != 32 {
+		t.Errorf("Extent = %d, want 32", a.Extent())
+	}
+	if a.Live() != 31 {
+		t.Errorf("Live = %d, want 31", a.Live())
+	}
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := New()
+	off := a.Alloc(12)
+	a.Alloc(12) // keep the arena from being empty
+	a.Free(off, 12)
+	if a.FreeBytes() != 12 {
+		t.Fatalf("FreeBytes = %d, want 12", a.FreeBytes())
+	}
+	got := a.Alloc(12)
+	if got != off {
+		t.Errorf("Alloc after Free = %d, want reuse of %d", got, off)
+	}
+	if a.FreeBytes() != 0 {
+		t.Errorf("FreeBytes = %d, want 0 after reuse", a.FreeBytes())
+	}
+	_, _, reuses := a.Stats()
+	if reuses != 1 {
+		t.Errorf("reuses = %d, want 1", reuses)
+	}
+}
+
+func TestFreeQueueLIFOChain(t *testing.T) {
+	a := New()
+	var offs []uint64
+	for i := 0; i < 5; i++ {
+		offs = append(offs, a.Alloc(9))
+	}
+	for _, off := range offs {
+		a.Free(off, 9)
+	}
+	// Queue is a stack threaded through the chunks themselves.
+	for i := len(offs) - 1; i >= 0; i-- {
+		if got := a.Alloc(9); got != offs[i] {
+			t.Fatalf("Alloc #%d = %d, want %d", len(offs)-1-i, got, offs[i])
+		}
+	}
+}
+
+func TestSmallChunkFreeReuse(t *testing.T) {
+	// Chunks smaller than the 5-byte link use the side queue.
+	a := New()
+	o3 := a.Alloc(3)
+	o4 := a.Alloc(4)
+	a.Free(o3, 3)
+	a.Free(o4, 4)
+	if a.Alloc(4) != o4 {
+		t.Error("4-byte chunk not reused")
+	}
+	if a.Alloc(3) != o3 {
+		t.Error("3-byte chunk not reused")
+	}
+}
+
+func TestReallocMovesAndFrees(t *testing.T) {
+	a := New()
+	off := a.Alloc(7)
+	copy(a.Bytes(off, 7), []byte("abcdefg"))
+	nu := a.Realloc(off, 7, 10)
+	if nu == off {
+		t.Fatal("Realloc to larger size returned same chunk")
+	}
+	// The old chunk must now be reusable.
+	if got := a.Alloc(7); got != off {
+		t.Errorf("old chunk not freed by Realloc: got %d want %d", got, off)
+	}
+	// Same-size realloc is a no-op.
+	if got := a.Realloc(nu, 10, 10); got != nu {
+		t.Errorf("same-size Realloc moved the chunk: %d -> %d", nu, got)
+	}
+}
+
+func TestReallocDoesNotHandBackOwnChunk(t *testing.T) {
+	// A realloc must never return the chunk being vacated, even when a
+	// same-size free chunk chain would make that possible.
+	a := New()
+	off := a.Alloc(8)
+	nu := a.Realloc(off, 8, 8+0) // same size: identity
+	if nu != off {
+		t.Fatalf("identity realloc moved chunk")
+	}
+	nu2 := a.Realloc(off, 8, 9)
+	if nu2 == off {
+		t.Fatal("realloc returned vacated chunk")
+	}
+}
+
+func TestBytesWriteRead(t *testing.T) {
+	a := New()
+	off := a.Alloc(24)
+	b := a.Bytes(off, 24)
+	for i := range b {
+		b[i] = byte(i * 3)
+	}
+	// Force growth; offsets must remain valid.
+	for i := 0; i < 1000; i++ {
+		a.Alloc(64)
+	}
+	b2 := a.Bytes(off, 24)
+	for i := range b2 {
+		if b2[i] != byte(i*3) {
+			t.Fatalf("byte %d corrupted after growth: %d", i, b2[i])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	a := New()
+	off := a.Alloc(16)
+	a.Free(off, 16)
+	a.Reset()
+	if a.Extent() != 1 || a.Live() != 0 || a.FreeBytes() != 0 {
+		t.Fatalf("Reset left extent=%d live=%d free=%d", a.Extent(), a.Live(), a.FreeBytes())
+	}
+	if got := a.Alloc(16); got != 1 {
+		t.Fatalf("alloc after Reset at %d, want 1", got)
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	a := New()
+	for _, size := range []int{0, -1, MaxChunk + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Alloc(%d) did not panic", size)
+				}
+			}()
+			a.Alloc(size)
+		}()
+	}
+}
+
+func TestFreeInvalidPanics(t *testing.T) {
+	a := New()
+	a.Alloc(8)
+	cases := []struct {
+		off  uint64
+		size int
+	}{
+		{0, 8},   // reserved offset
+		{100, 8}, // beyond extent
+		{1, 0},   // bad size
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%d,%d) did not panic", c.off, c.size)
+				}
+			}()
+			a.Free(c.off, c.size)
+		}()
+	}
+}
+
+// TestChurnAccounting exercises a random alloc/free workload and checks
+// the byte accounting invariants throughout.
+func TestChurnAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := New()
+	type chunk struct {
+		off  uint64
+		size int
+	}
+	var live []chunk
+	var liveBytes uint64
+	for i := 0; i < 20000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(live))
+			c := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			a.Free(c.off, c.size)
+			liveBytes -= uint64(c.size)
+		} else {
+			size := 3 + rng.Intn(25)
+			off := a.Alloc(size)
+			// Scribble over the chunk: must not corrupt free queues of
+			// other sizes or other live chunks.
+			b := a.Bytes(off, size)
+			for k := range b {
+				b[k] = 0xEE
+			}
+			live = append(live, chunk{off, size})
+			liveBytes += uint64(size)
+		}
+		if a.Live() != liveBytes {
+			t.Fatalf("step %d: Live = %d, want %d", i, a.Live(), liveBytes)
+		}
+	}
+	// Drain and confirm everything is reusable without growing extent.
+	for _, c := range live {
+		a.Free(c.off, c.size)
+	}
+	if a.Live() != 0 {
+		t.Fatalf("Live = %d after draining, want 0", a.Live())
+	}
+}
+
+// TestNoOverlap property: concurrently live chunks never overlap.
+func TestNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New()
+		type iv struct{ lo, hi uint64 }
+		var live []iv
+		for i := 0; i < 300; i++ {
+			size := 3 + rng.Intn(30)
+			off := a.Alloc(size)
+			nu := iv{off, off + uint64(size)}
+			for _, v := range live {
+				if nu.lo < v.hi && v.lo < nu.hi {
+					return false
+				}
+			}
+			live = append(live, nu)
+			if rng.Intn(3) == 0 && len(live) > 1 {
+				j := rng.Intn(len(live))
+				a.Free(live[j].lo, int(live[j].hi-live[j].lo))
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := a.Alloc(12)
+		a.Free(off, 12)
+	}
+}
+
+func BenchmarkAllocGrowth(b *testing.B) {
+	a := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Alloc(16)
+		if a.Extent() > 1<<26 {
+			a.Reset()
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestConvertTinyTree(t *testing.T) {
+	tree := newTestTree(Config{}, 3)
+	tree.Insert([]uint32{0, 1, 2}, 2)
+	tree.Insert([]uint32{0, 2}, 1)
+	tree.Insert([]uint32{1, 2}, 3)
+	a := Convert(tree)
+	if a.NumNodes() != tree.NumNodes() {
+		t.Fatalf("array nodes %d, tree nodes %d", a.NumNodes(), tree.NumNodes())
+	}
+	// Supports: item 0 appears in 3 transactions (weights 2+1),
+	// item 1 in 2+3, item 2 in 2+1+3.
+	wantSup := []uint64{3, 5, 6}
+	for rk, want := range wantSup {
+		if got := a.Support(uint32(rk)); got != want {
+			t.Errorf("support[%d] = %d, want %d", rk, got, want)
+		}
+	}
+	// Subarrays are item-clustered: item 2 has 3 nodes (under 0-1,
+	// under 0, under 1).
+	if a.Nodes(2) != 3 {
+		t.Errorf("nodes(2) = %d, want 3", a.Nodes(2))
+	}
+}
+
+func TestConvertBackwardTraversal(t *testing.T) {
+	tree := newTestTree(Config{}, 4)
+	tree.Insert([]uint32{0, 1, 2, 3}, 1)
+	tree.Insert([]uint32{0, 2, 3}, 1)
+	tree.Insert([]uint32{1, 3}, 1)
+	tree.Insert([]uint32{3}, 1)
+	a := Convert(tree)
+	// Collect, per node of item 3, its full ancestor rank path.
+	var paths [][]uint32
+	a.ScanItem(3, func(e Element) bool {
+		p := a.PathTo(e, nil)
+		sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+		paths = append(paths, p)
+		return true
+	})
+	want := [][]uint32{{0, 1, 2}, {0, 2}, {1}, {}}
+	sortPaths := func(ps [][]uint32) {
+		sort.Slice(ps, func(i, j int) bool {
+			return len(ps[i]) > len(ps[j])
+		})
+	}
+	sortPaths(paths)
+	sortPaths(want)
+	if len(paths) != len(want) {
+		t.Fatalf("got %d paths, want %d: %v", len(paths), len(want), paths)
+	}
+	for i := range want {
+		if len(paths[i]) == 0 && len(want[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(paths[i], want[i]) {
+			t.Errorf("path %d = %v, want %v", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestConvertCountsAreFPCounts(t *testing.T) {
+	// Figure 5 analogue: full counts in the array even though the tree
+	// stores partial counts.
+	tree := newTestTree(Config{}, 2)
+	tree.Insert([]uint32{0, 1}, 4)
+	tree.Insert([]uint32{0}, 6)
+	a := Convert(tree)
+	var counts []uint64
+	a.ScanItem(0, func(e Element) bool {
+		counts = append(counts, e.Count)
+		return true
+	})
+	if len(counts) != 1 || counts[0] != 10 {
+		t.Errorf("item-0 counts = %v, want [10]", counts)
+	}
+}
+
+func TestConvertParentlessMarker(t *testing.T) {
+	tree := newTestTree(Config{}, 5)
+	tree.Insert([]uint32{2, 4}, 1)
+	a := Convert(tree)
+	a.ScanItem(2, func(e Element) bool {
+		if e.HasParent() {
+			t.Error("depth-1 node claims a parent")
+		}
+		if e.Delta != 3 {
+			t.Errorf("parentless Δitem = %d, want rank+1 = 3", e.Delta)
+		}
+		return true
+	})
+	a.ScanItem(4, func(e Element) bool {
+		if !e.HasParent() || e.ParentRank() != 2 {
+			t.Error("child node lost its parent")
+		}
+		return true
+	})
+}
+
+func TestConvertEmptyTree(t *testing.T) {
+	tree := newTestTree(Config{}, 3)
+	a := Convert(tree)
+	if a.NumNodes() != 0 || a.DataBytes() != 0 {
+		t.Errorf("empty conversion: nodes=%d bytes=%d", a.NumNodes(), a.DataBytes())
+	}
+}
+
+// TestConvertRandomizedRoundTrip rebuilds the multiset of (path →
+// count) facts from the array and compares with ground truth collected
+// during insertion.
+func TestConvertRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		numItems := 3 + rng.Intn(12)
+		tree := newTestTree(Config{}, numItems)
+		type fact struct {
+			items string
+			w     uint64
+		}
+		ref := map[string]uint64{} // sorted item path -> total weight
+		for i := 0; i < 50; i++ {
+			var tx []uint32
+			for r := 0; r < numItems; r++ {
+				if rng.Intn(3) == 0 {
+					tx = append(tx, uint32(r))
+				}
+			}
+			if len(tx) == 0 {
+				continue
+			}
+			w := uint64(1 + rng.Intn(4))
+			tree.Insert(tx, uint32(w))
+			key := make([]byte, len(tx))
+			for j, r := range tx {
+				key[j] = byte(r)
+			}
+			ref[string(key)] += w
+		}
+		a := Convert(tree)
+		if a.NumNodes() != tree.NumNodes() {
+			t.Fatalf("trial %d: node count mismatch", trial)
+		}
+		// Per-item support from the array must match per-item support
+		// from ground truth.
+		wantSup := make([]uint64, numItems)
+		for key, w := range ref {
+			for _, b := range []byte(key) {
+				wantSup[b] += w
+			}
+		}
+		for rk := 0; rk < numItems; rk++ {
+			if got := a.Support(uint32(rk)); got != wantSup[rk] {
+				t.Fatalf("trial %d: support[%d] = %d, want %d", trial, rk, got, wantSup[rk])
+			}
+		}
+		// Every leaf-to-root backward path must reconstruct a known
+		// prefix: for each element, path ∪ self must be a prefix of
+		// some inserted transaction, and counts must aggregate: the
+		// count of an element equals the summed weight of transactions
+		// whose encoding passes through it. We verify total count mass
+		// per item instead (the support check above) plus path
+		// validity.
+		for rk := 0; rk < numItems; rk++ {
+			a.ScanItem(uint32(rk), func(e Element) bool {
+				p := a.PathTo(e, nil)
+				// Ancestor ranks must be strictly decreasing from the
+				// element.
+				prev := uint32(rk)
+				for _, ar := range p {
+					if ar >= prev {
+						t.Fatalf("trial %d: non-decreasing ancestor path %v for rank %d", trial, p, rk)
+					}
+					prev = ar
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestArrayStatsFieldBytes(t *testing.T) {
+	tree := newTestTree(Config{}, 3)
+	tree.Insert([]uint32{0, 1, 2}, 1)
+	a := Convert(tree)
+	s := a.Stats()
+	if s.DeltaItemBytes+s.DposBytes+s.CountBytes != s.DataBytes {
+		t.Errorf("field bytes %d+%d+%d != data bytes %d",
+			s.DeltaItemBytes, s.DposBytes, s.CountBytes, s.DataBytes)
+	}
+	if s.Nodes != 3 {
+		t.Errorf("nodes = %d, want 3", s.Nodes)
+	}
+	// Small values: one byte per field per node.
+	if s.AvgNodeSize != 3 {
+		t.Errorf("avg node size = %v, want 3", s.AvgNodeSize)
+	}
+}
+
+func TestTreeStatsTable2Shape(t *testing.T) {
+	// pcount is zero for every interior node: with long transactions,
+	// the pcount histogram must concentrate at 4 leading zero bytes,
+	// the paper's Table 2 signature.
+	tree := newTestTree(Config{}, 64)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		var tx []uint32
+		for r := 0; r < 64; r++ {
+			if rng.Intn(2) == 0 {
+				tx = append(tx, uint32(r))
+			}
+		}
+		if len(tx) > 0 {
+			tree.Insert(tx, 1)
+		}
+	}
+	s := tree.Stats()
+	if s.Pcount.Percent(4)+s.Pcount.Percent(3) < 95 {
+		t.Errorf("small pcounts = %.1f%%, expected Table-2-like concentration",
+			s.Pcount.Percent(4)+s.Pcount.Percent(3))
+	}
+	if s.DeltaItem.Percent(3) < 95 {
+		t.Errorf("one-byte Δitem = %.1f%%, expected Table-2-like concentration", s.DeltaItem.Percent(3))
+	}
+	if s.Nodes != tree.NumNodes() {
+		t.Errorf("stats nodes %d != tree nodes %d", s.Nodes, tree.NumNodes())
+	}
+}

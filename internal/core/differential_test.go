@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refTrie is a trivially correct prefix tree used as the oracle for
+// structural differential testing of the compressed tree.
+type refTrie struct {
+	children map[uint32]*refTrie
+	pcount   uint64
+}
+
+func newRefTrie() *refTrie { return &refTrie{children: map[uint32]*refTrie{}} }
+
+func (r *refTrie) insert(ranks []uint32, w uint64) {
+	cur := r
+	for _, rk := range ranks {
+		next := cur.children[rk]
+		if next == nil {
+			next = newRefTrie()
+			cur.children[rk] = next
+		}
+		cur = next
+	}
+	cur.pcount += w
+}
+
+// flatten produces (rank, pcount, depth) tuples in the same order the
+// CFP-tree's Walk visits: depth-first with siblings ascending.
+func (r *refTrie) flatten() []walkedNode {
+	var out []walkedNode
+	var rec func(n *refTrie, depth int)
+	rec = func(n *refTrie, depth int) {
+		keys := make([]uint32, 0, len(n.children))
+		for k := range n.children {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			c := n.children[k]
+			out = append(out, walkedNode{rank: k, pcount: uint32(c.pcount), depth: depth})
+			rec(c, depth+1)
+		}
+	}
+	rec(r, 0)
+	return out
+}
+
+// TestStructuralDifferential inserts identical random transaction
+// streams into the CFP-tree (under every configuration) and the
+// reference trie, and requires byte-for-byte identical logical
+// structure — node order, pcounts, and depths.
+func TestStructuralDifferential(t *testing.T) {
+	configs := []Config{
+		{},
+		{DisableChains: true},
+		{DisableEmbed: true},
+		{DisableChains: true, DisableEmbed: true},
+		{MaxChainLen: 2},
+		{MaxChainLen: 7},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		rng := rand.New(rand.NewSource(1234))
+		for trial := 0; trial < 30; trial++ {
+			numItems := 2 + rng.Intn(20)
+			tree := newTestTree(cfg, numItems)
+			ref := newRefTrie()
+			nTx := 1 + rng.Intn(120)
+			for i := 0; i < nTx; i++ {
+				var tx []uint32
+				for r := 0; r < numItems; r++ {
+					if rng.Intn(3) == 0 {
+						tx = append(tx, uint32(r))
+					}
+				}
+				if len(tx) == 0 {
+					continue
+				}
+				w := uint32(1 + rng.Intn(5))
+				tree.Insert(tx, w)
+				ref.insert(tx, uint64(w))
+			}
+			got := walkAll(tree)
+			want := ref.flatten()
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cfg %+v trial %d: structure differs\n got %v\nwant %v", cfg, trial, got, want)
+			}
+			if s := tree.CheckInvariants(); s != "" {
+				t.Fatalf("cfg %+v trial %d: %s", cfg, trial, s)
+			}
+			// The conversion must agree with the reference too: per-item
+			// node counts.
+			arr := Convert(tree)
+			refNodes := map[uint32]int{}
+			for _, n := range want {
+				refNodes[n.rank]++
+			}
+			for rk := 0; rk < numItems; rk++ {
+				if arr.Nodes(uint32(rk)) != refNodes[uint32(rk)] {
+					t.Fatalf("cfg %+v trial %d: array item %d has %d nodes, reference %d",
+						cfg, trial, rk, arr.Nodes(uint32(rk)), refNodes[uint32(rk)])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialAdversarialPatterns targets the chain split machinery
+// with transaction patterns engineered to hit every split case in
+// sequence on one tree.
+func TestDifferentialAdversarialPatterns(t *testing.T) {
+	patterns := [][][]uint32{
+		// extend, then diverge at each position of a chain
+		{{0, 1, 2, 3, 4, 5}, {0, 1, 2, 3, 4, 5, 6}, {0, 9}, {0, 1, 9}, {0, 1, 2, 9}, {0, 1, 2, 3, 9}},
+		// end mid-chain at every position
+		{{0, 1, 2, 3, 4}, {0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}, {0, 1, 2, 3, 4}},
+		// repeated splits interleaved with re-inserts
+		{{0, 2, 4, 6, 8}, {0, 2, 5}, {0, 2, 4, 6, 8}, {1, 3}, {0, 2, 4, 7}, {0, 2, 4, 6, 8}},
+		// embedded leaf promotion chains
+		{{5}, {5, 6}, {5, 6, 7}, {4}, {6}, {5, 6, 7, 8}},
+		// deep shared prefix with many leaf siblings
+		{{0, 1, 2, 3}, {0, 1, 2, 4}, {0, 1, 2, 5}, {0, 1, 2, 6}, {0, 1, 2, 7}},
+	}
+	for pi, txs := range patterns {
+		for _, cfg := range []Config{{}, {MaxChainLen: 3}} {
+			tree := newTestTree(cfg, 16)
+			ref := newRefTrie()
+			for _, tx := range txs {
+				tree.Insert(tx, 1)
+				ref.insert(tx, 1)
+			}
+			got := walkAll(tree)
+			want := ref.flatten()
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("pattern %d cfg %+v:\n got %v\nwant %v", pi, cfg, got, want)
+			}
+			if s := tree.CheckInvariants(); s != "" {
+				t.Errorf("pattern %d cfg %+v: %s", pi, cfg, s)
+			}
+		}
+	}
+}

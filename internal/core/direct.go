@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sort"
+
+	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+// DirectGrowth mines straight off the ternary CFP-tree, without ever
+// converting to a CFP-array. It exists as the ablation justifying the
+// CFP-array's existence (DESIGN.md §5): the compressed tree has no
+// nodelinks (they were sacrificed for compression), so assembling one
+// item's conditional pattern base requires a full depth-first walk of
+// the tree — every conditioning step is O(tree) instead of O(item's
+// nodes). The results are identical to Growth's; the point is the cost,
+// which bench_ablation_test.go measures.
+type DirectGrowth struct {
+	// Config tunes the CFP-tree compression features.
+	Config Config
+	// Track observes modeled memory consumption.
+	Track mine.MemTracker
+	// MaxLen, when positive, prunes the search at that cardinality.
+	MaxLen int
+}
+
+// Name implements mine.Miner.
+func (DirectGrowth) Name() string { return "cfpgrowth-direct" }
+
+// Mine implements mine.Miner.
+func (g DirectGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	if n == 0 {
+		return nil
+	}
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
+	}
+	track := g.Track
+	if track == nil {
+		track = mine.NullTracker{}
+	}
+	m := &directGrower{cfg: g.Config, minSup: minSupport, maxLen: g.MaxLen, sink: sink, track: track}
+	tree := NewTree(arena.New(), g.Config, itemName, itemCount)
+	var buf []uint32
+	err = src.Scan(func(tx []uint32) error {
+		buf = rec.Encode(tx, buf[:0])
+		tree.Insert(buf, 1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return m.mine(tree, nil)
+}
+
+type directGrower struct {
+	cfg     Config
+	minSup  uint64
+	maxLen  int
+	sink    mine.Sink
+	track   mine.MemTracker
+	emitBuf []uint32
+}
+
+func (m *directGrower) emit(prefix []uint32, support uint64) error {
+	m.emitBuf = append(m.emitBuf[:0], prefix...)
+	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	return m.sink.Emit(m.emitBuf, support)
+}
+
+func (m *directGrower) mine(t *Tree, prefix []uint32) error {
+	m.track.Alloc(t.Extent())
+	defer m.track.Free(t.Extent())
+	if path, ok := t.SinglePath(); ok {
+		return m.minePath(t, path, prefix)
+	}
+	// One walk computes per-item supports and full counts.
+	cp := &countPass{counts: make([]uint64, 0, t.NumNodes())}
+	t.Walk(cp)
+	itemSup := make([]uint64, t.NumItems())
+	sv := &supportVisitor{counts: cp.counts, itemSup: itemSup}
+	t.Walk(sv)
+	for rk := t.NumItems() - 1; rk >= 0; rk-- {
+		if itemSup[rk] < m.minSup {
+			continue
+		}
+		prefix = append(prefix, t.itemName[rk])
+		if err := m.emit(prefix, itemSup[rk]); err != nil {
+			return err
+		}
+		if rk > 0 && (m.maxLen <= 0 || len(prefix) < m.maxLen) {
+			// The expensive step this ablation demonstrates: without
+			// nodelinks or item clustering, the pattern base of rank
+			// rk requires another full walk of the tree.
+			cond := m.conditional(t, uint32(rk), cp.counts)
+			if cond != nil {
+				if err := m.mine(cond, prefix); err != nil {
+					return err
+				}
+			}
+		}
+		prefix = prefix[:len(prefix)-1]
+	}
+	return nil
+}
+
+func (m *directGrower) minePath(t *Tree, path []PathNode, prefix []uint32) error {
+	counts := make([]uint64, len(path))
+	var acc uint64
+	for i := len(path) - 1; i >= 0; i-- {
+		acc += uint64(path[i].Pcount)
+		counts[i] = acc
+	}
+	var rec func(i int, prefix []uint32) error
+	rec = func(i int, prefix []uint32) error {
+		if m.maxLen > 0 && len(prefix) >= m.maxLen {
+			return nil
+		}
+		for j := i; j < len(path); j++ {
+			if counts[j] < m.minSup {
+				return nil
+			}
+			prefix = append(prefix, t.itemName[path[j].Rank])
+			if err := m.emit(prefix, counts[j]); err != nil {
+				return err
+			}
+			if err := rec(j+1, prefix); err != nil {
+				return err
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil
+	}
+	return rec(0, prefix)
+}
+
+// conditional gathers rank rk's pattern base by a full tree walk and
+// rebuilds it as a new CFP-tree (fresh arena: unlike Growth, the parent
+// tree must stay alive through the recursion, which is the second cost
+// this ablation exposes).
+func (m *directGrower) conditional(t *Tree, rk uint32, counts []uint64) *Tree {
+	pb := &patternBaseVisitor{target: rk, counts: counts}
+	t.Walk(pb)
+	if len(pb.paths) == 0 {
+		return nil
+	}
+	condCount := make([]uint64, rk)
+	for _, p := range pb.paths {
+		for _, it := range p.ranks {
+			condCount[it] += p.weight
+		}
+	}
+	any := false
+	for _, c := range condCount {
+		if c >= m.minSup {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	cond := NewTree(arena.New(), m.cfg, t.itemName[:rk], condCount)
+	var filtered []uint32
+	for _, p := range pb.paths {
+		filtered = filtered[:0]
+		for _, it := range p.ranks {
+			if condCount[it] >= m.minSup {
+				filtered = append(filtered, it)
+			}
+		}
+		if len(filtered) > 0 {
+			cond.Insert(filtered, uint32(p.weight))
+		}
+	}
+	if cond.NumNodes() == 0 {
+		return nil
+	}
+	return cond
+}
+
+// supportVisitor accumulates per-item full counts.
+type supportVisitor struct {
+	counts  []uint64
+	next    int
+	itemSup []uint64
+}
+
+func (v *supportVisitor) Enter(rank uint32, pcount uint32) {
+	v.itemSup[rank] += v.counts[v.next]
+	v.next++
+}
+
+func (v *supportVisitor) Leave() {}
+
+// patternBaseVisitor collects, for every node of the target rank, the
+// ancestor rank path (root-first) and the node's full count.
+type patternBaseVisitor struct {
+	target uint32
+	counts []uint64
+	next   int
+	stack  []uint32
+	paths  []weightedPath
+}
+
+type weightedPath struct {
+	ranks  []uint32
+	weight uint64
+}
+
+func (v *patternBaseVisitor) Enter(rank uint32, pcount uint32) {
+	cnt := v.counts[v.next]
+	v.next++
+	if rank == v.target {
+		cp := make([]uint32, len(v.stack))
+		copy(cp, v.stack)
+		v.paths = append(v.paths, weightedPath{ranks: cp, weight: cnt})
+	}
+	v.stack = append(v.stack, rank)
+}
+
+func (v *patternBaseVisitor) Leave() {
+	v.stack = v.stack[:len(v.stack)-1]
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// TestSerializedFormatGolden pins the on-disk CFP-array format: if this
+// test breaks, the format version must be bumped, because saved indexes
+// in the wild would no longer load.
+func TestSerializedFormatGolden(t *testing.T) {
+	tree := newTestTree(Config{}, 3)
+	tree.Insert([]uint32{0, 1, 2}, 2)
+	tree.Insert([]uint32{0, 2}, 1)
+	a := Convert(tree)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = "43465041" + // "CFPA"
+		"01" + // version
+		"03" + "04" + "0c" + // numItems, numNodes, dataLen
+		// item 0: name 0, subarray 3 bytes, support 3, 1 node
+		"00" + "03" + "03" + "01" +
+		// item 1: name 1, subarray 3 bytes, support 2, 1 node
+		"01" + "03" + "02" + "01" +
+		// item 2: name 2, subarray 6 bytes, support 3, 2 nodes
+		"02" + "06" + "03" + "02" +
+		// triples: (Δitem, zigzag Δpos, count)
+		"010003" + // item 0 node: Δ=1 (root), Δpos 0, count 3
+		"010002" + // item 1 node: parent item 0, Δpos 0, count 2
+		"010002" + // item 2 under 0-1: Δ=1, Δpos 0, count 2
+		"020601" // item 2 under 0: Δ=2, Δpos zigzag(+3)=6, count 1
+	got := hex.EncodeToString(buf.Bytes()[:buf.Len()-4]) // strip CRC
+	if got != want {
+		t.Errorf("serialized bytes changed:\n got %s\nwant %s", got, want)
+	}
+	// And the checksum trailer must still verify.
+	if _, err := ReadArray(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("golden bytes no longer load: %v", err)
+	}
+}

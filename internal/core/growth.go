@@ -1,0 +1,284 @@
+package core
+
+import (
+	"sort"
+
+	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+// Growth is the CFP-growth miner: FP-growth running on the CFP-tree in
+// every build phase and the CFP-array in every mine phase. There is
+// exactly one CFP-tree alive at any moment (it is discarded right after
+// conversion, and its arena is recycled, §3.5/§4.1), while CFP-arrays
+// stack up along the recursion.
+type Growth struct {
+	// Config tunes the CFP-tree compression features (ablations).
+	Config Config
+	// Track observes modeled memory consumption; nil disables tracking.
+	Track mine.MemTracker
+	// MaxLen, when positive, prunes the search at itemsets of that
+	// cardinality: longer itemsets are neither emitted nor explored.
+	MaxLen int
+}
+
+// Name implements mine.Miner.
+func (Growth) Name() string { return "cfpgrowth" }
+
+// Mine implements mine.Miner.
+func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	if n == 0 {
+		return nil
+	}
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
+	}
+	track := g.Track
+	if track == nil {
+		track = mine.NullTracker{}
+	}
+	m := &cfpGrower{
+		cfg:       g.Config,
+		minSup:    minSupport,
+		maxLen:    g.MaxLen,
+		sink:      sink,
+		track:     track,
+		treeArena: arena.New(),
+	}
+	tree := NewTree(m.treeArena, g.Config, itemName, itemCount)
+	var buf []uint32
+	err = src.Scan(func(tx []uint32) error {
+		buf = rec.Encode(tx, buf[:0])
+		tree.Insert(buf, 1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return m.mineTree(tree, nil)
+}
+
+// MineArray mines an already-materialized CFP-array (e.g. one
+// deserialized with ReadArray) at any minimum support not below the
+// support the array was built with. This is the persistent-index entry
+// point: the build phase is skipped entirely.
+func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int) error {
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	if track == nil {
+		track = mine.NullTracker{}
+	}
+	m := &cfpGrower{
+		cfg:       cfg,
+		minSup:    minSupport,
+		maxLen:    maxLen,
+		sink:      sink,
+		track:     track,
+		treeArena: arena.New(),
+	}
+	track.Alloc(a.Bytes())
+	defer track.Free(a.Bytes())
+	return m.mineArray(a, nil)
+}
+
+// MineArrayItems mines only the given top-level item ranks of a
+// CFP-array: for each rank it emits the singleton and recurses into its
+// conditional subproblem. This is the building block of partitioned
+// mining (PFP-style group-dependent shards): an itemset's support in a
+// shard is exact precisely when its least frequent item belongs to the
+// shard's group, so each shard mines exactly its group's ranks.
+func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ranks []uint32) error {
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	if track == nil {
+		track = mine.NullTracker{}
+	}
+	m := &cfpGrower{
+		cfg:       cfg,
+		minSup:    minSupport,
+		maxLen:    maxLen,
+		sink:      sink,
+		track:     track,
+		treeArena: arena.New(),
+	}
+	for _, rk := range ranks {
+		if err := m.mineTopItem(a, rk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cfpGrower carries the recursion state of CFP-growth.
+type cfpGrower struct {
+	cfg       Config
+	minSup    uint64
+	maxLen    int
+	sink      mine.Sink
+	track     mine.MemTracker
+	treeArena *arena.Arena // one CFP-tree at a time (§4.1)
+	emitBuf   []uint32
+	pathBuf   []uint32
+}
+
+func (m *cfpGrower) emit(prefix []uint32, support uint64) error {
+	m.emitBuf = append(m.emitBuf[:0], prefix...)
+	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	return m.sink.Emit(m.emitBuf, support)
+}
+
+// mineTree converts a freshly built CFP-tree into a CFP-array and mines
+// it. Single-path trees are enumerated directly, skipping conversion.
+// In all cases the tree arena is released (reset) before recursing, so
+// at most one tree is ever alive.
+func (m *cfpGrower) mineTree(t *Tree, prefix []uint32) error {
+	treeBytes := t.Extent()
+	m.track.Alloc(treeBytes)
+	if path, ok := t.SinglePath(); ok {
+		m.treeArena.Reset()
+		m.track.Free(treeBytes)
+		return m.minePath(t, path, prefix)
+	}
+	arr := Convert(t)
+	m.treeArena.Reset()
+	m.track.Free(treeBytes)
+	m.track.Alloc(arr.Bytes())
+	err := m.mineArray(arr, prefix)
+	m.track.Free(arr.Bytes())
+	return err
+}
+
+// minePath enumerates a single-path tree: every non-empty subset of the
+// path is frequent with support equal to the full count of its deepest
+// node; full counts along a path are suffix sums of the pcounts.
+func (m *cfpGrower) minePath(t *Tree, path []PathNode, prefix []uint32) error {
+	if len(path) == 0 {
+		return nil
+	}
+	counts := make([]uint64, len(path))
+	var acc uint64
+	for i := len(path) - 1; i >= 0; i-- {
+		acc += uint64(path[i].Pcount)
+		counts[i] = acc
+	}
+	names := t.itemName
+	var rec func(i int, prefix []uint32) error
+	rec = func(i int, prefix []uint32) error {
+		if m.maxLen > 0 && len(prefix) >= m.maxLen {
+			return nil
+		}
+		for j := i; j < len(path); j++ {
+			if counts[j] < m.minSup {
+				// Counts are non-increasing with depth.
+				return nil
+			}
+			prefix = append(prefix, names[path[j].Rank])
+			if err := m.emit(prefix, counts[j]); err != nil {
+				return err
+			}
+			if err := rec(j+1, prefix); err != nil {
+				return err
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil
+	}
+	return rec(0, prefix)
+}
+
+// mineArray runs the divide-and-conquer over a CFP-array: for each item
+// from least to most frequent, emit it, assemble its conditional
+// pattern base by backward traversal, build the conditional CFP-tree
+// (in the recycled tree arena), and recurse.
+func (m *cfpGrower) mineArray(a *Array, prefix []uint32) error {
+	for rk := a.NumItems() - 1; rk >= 0; rk-- {
+		rank := uint32(rk)
+		if a.Nodes(rank) == 0 {
+			continue
+		}
+		sup := a.Support(rank)
+		if sup < m.minSup {
+			continue
+		}
+		prefix = append(prefix, a.ItemName(rank))
+		if err := m.emit(prefix, sup); err != nil {
+			return err
+		}
+		if rk > 0 && (m.maxLen <= 0 || len(prefix) < m.maxLen) {
+			cond := m.conditional(a, rank)
+			if cond != nil {
+				if err := m.mineTree(cond, prefix); err != nil {
+					return err
+				}
+			}
+		}
+		prefix = prefix[:len(prefix)-1]
+	}
+	return nil
+}
+
+// conditional builds the conditional CFP-tree of item rank: two
+// sequential scans of the rank's subarray, each walking parent paths
+// backward. The first computes conditional supports; the second inserts
+// the filtered, weighted paths. Returns nil when no conditional item is
+// frequent.
+func (m *cfpGrower) conditional(a *Array, rank uint32) *Tree {
+	condCount := make([]uint64, rank)
+	a.ScanItem(rank, func(e Element) bool {
+		m.pathBuf = a.PathTo(e, m.pathBuf[:0])
+		for _, ar := range m.pathBuf {
+			condCount[ar] += e.Count
+		}
+		return true
+	})
+	any := false
+	for _, c := range condCount {
+		if c >= m.minSup {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	m.treeArena.Reset()
+	cond := NewTree(m.treeArena, m.cfg, a.itemName[:rank], condCount)
+	a.ScanItem(rank, func(e Element) bool {
+		m.pathBuf = a.PathTo(e, m.pathBuf[:0])
+		// PathTo yields ranks nearest-first; reverse to root-first,
+		// then filter to conditionally frequent items in place.
+		for i, j := 0, len(m.pathBuf)-1; i < j; i, j = i+1, j-1 {
+			m.pathBuf[i], m.pathBuf[j] = m.pathBuf[j], m.pathBuf[i]
+		}
+		w := 0
+		for _, it := range m.pathBuf {
+			if condCount[it] >= m.minSup {
+				m.pathBuf[w] = it
+				w++
+			}
+		}
+		if w > 0 {
+			cond.Insert(m.pathBuf[:w], uint32(e.Count))
+		}
+		return true
+	})
+	if cond.NumNodes() == 0 {
+		return nil
+	}
+	return cond
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/fptree"
+	"cfpgrowth/internal/mine"
+)
+
+var tinyDB = dataset.Slice{
+	{1, 2, 3},
+	{1, 2},
+	{1, 3},
+	{2, 3},
+	{1, 2, 3, 4},
+	{4},
+}
+
+func TestCFPGrowthTiny(t *testing.T) {
+	got, err := mine.Run(Growth{}, tinyDB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(mine.BruteForce{}, tinyDB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("cfpgrowth", got, "bruteforce", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestCFPGrowthEmptyAndInfrequent(t *testing.T) {
+	var sink mine.CountSink
+	if err := (Growth{}).Mine(dataset.Slice{}, 1, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted itemsets from empty database")
+	}
+	sink = mine.CountSink{}
+	if err := (Growth{}).Mine(dataset.Slice{{1}, {2}}, 2, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted itemsets although nothing is frequent")
+	}
+}
+
+func TestCFPGrowthSingleTransaction(t *testing.T) {
+	got, err := mine.Run(Growth{}, dataset.Slice{{5, 7, 9}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Errorf("got %d itemsets, want 7 (single-path shortcut)", len(got))
+	}
+}
+
+// TestCFPGrowthMatchesFPGrowthRandom is the central cross-validation of
+// the whole package: CFP-growth (CFP-tree + conversion + CFP-array +
+// conditional recursion) must produce byte-identical results to the
+// baseline FP-growth and to brute force, under every Config variant.
+func TestCFPGrowthMatchesFPGrowthRandom(t *testing.T) {
+	configs := []Config{
+		{},
+		{DisableChains: true},
+		{DisableEmbed: true},
+		{DisableChains: true, DisableEmbed: true},
+		{MaxChainLen: 3},
+	}
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		nTx := 10 + rng.Intn(60)
+		nItems := 4 + rng.Intn(10)
+		db := make(dataset.Slice, nTx)
+		for i := range db {
+			tx := make([]uint32, 1+rng.Intn(nItems))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(nItems))
+			}
+			db[i] = tx
+		}
+		for _, minSup := range []uint64{1, 2, uint64(1 + nTx/5)} {
+			want, err := mine.Run(fptree.Growth{}, db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bf, err := mine.Run(mine.BruteForce{}, db, minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := mine.Diff("fpgrowth", want, "bruteforce", bf); d != "" {
+				t.Fatalf("baseline broken:\n%s", d)
+			}
+			for _, cfg := range configs {
+				got, err := mine.Run(Growth{Config: cfg}, db, minSup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := mine.Diff("cfpgrowth", got, "fpgrowth", want); d != "" {
+					t.Fatalf("trial %d minSup %d cfg %+v:\n%s", trial, minSup, cfg, d)
+				}
+			}
+		}
+	}
+}
+
+func TestCFPGrowthLongTransactions(t *testing.T) {
+	// Webdocs-style stress: long transactions over a moderate item
+	// space exercise chains, conversion of deep trees, and deep
+	// conditional recursion.
+	rng := rand.New(rand.NewSource(6))
+	db := make(dataset.Slice, 60)
+	for i := range db {
+		var tx []uint32
+		for r := 0; r < 30; r++ {
+			if rng.Intn(4) != 0 {
+				tx = append(tx, uint32(r))
+			}
+		}
+		db[i] = tx
+	}
+	// Support high enough to bound output size.
+	got, err := mine.Run(Growth{}, db, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(fptree.Growth{}, db, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("cfpgrowth", got, "fpgrowth", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestCFPGrowthSparseItems(t *testing.T) {
+	// Large gaps between item identifiers exercise multi-byte Δitem
+	// fields and chain-breaking.
+	db := dataset.Slice{
+		{10, 50000, 900000},
+		{10, 50000},
+		{10, 900000},
+		{50000, 900000},
+		{10, 50000, 900000},
+	}
+	got, err := mine.Run(Growth{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(mine.BruteForce{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("cfpgrowth", got, "bruteforce", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestCFPGrowthMemTracking(t *testing.T) {
+	var tr mine.PeakTracker
+	if err := (Growth{Track: &tr}).Mine(tinyDB, 2, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Peak <= 0 {
+		t.Error("no peak recorded")
+	}
+	if tr.Cur != 0 {
+		t.Errorf("tracker imbalance: %d bytes live after mining", tr.Cur)
+	}
+}
+
+func TestCFPGrowthSinkErrorAborts(t *testing.T) {
+	s := &stopSink{}
+	if err := (Growth{}).Mine(tinyDB, 1, s); err == nil {
+		t.Fatal("sink error not propagated")
+	}
+	if s.calls != 1 {
+		t.Errorf("mining continued after sink error: %d calls", s.calls)
+	}
+}
+
+type stopSink struct{ calls int }
+
+type stopErr struct{}
+
+func (stopErr) Error() string { return "stop" }
+
+func (s *stopSink) Emit([]uint32, uint64) error {
+	s.calls++
+	return stopErr{}
+}
+
+// TestCFPGrowthWeightedEquivalence: mining a database with duplicated
+// transactions must equal mining with the duplicates materialized.
+func TestCFPGrowthDuplicateTransactions(t *testing.T) {
+	base := dataset.Slice{{1, 2, 3}, {2, 3}, {1, 3}}
+	var db dataset.Slice
+	for _, tx := range base {
+		for k := 0; k < 4; k++ {
+			db = append(db, tx)
+		}
+	}
+	got, err := mine.Run(Growth{}, db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(mine.BruteForce{}, db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("cfpgrowth", got, "bruteforce", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func BenchmarkCFPGrowthSmall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := make(dataset.Slice, 1000)
+	for i := range db {
+		tx := make([]uint32, 3+rng.Intn(12))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(50))
+		}
+		db[i] = tx
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink mine.CountSink
+		if err := (Growth{}).Mine(db, 20, &sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCFPTreeInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	txs := make([][]uint32, 512)
+	for i := range txs {
+		var tx []uint32
+		for r := 0; r < 64; r++ {
+			if rng.Intn(3) == 0 {
+				tx = append(tx, uint32(r))
+			}
+		}
+		if len(tx) == 0 {
+			tx = []uint32{0}
+		}
+		txs[i] = tx
+	}
+	tree := newTestTree(Config{}, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Insert(txs[i%len(txs)], 1)
+	}
+}
+
+func BenchmarkConvert(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tree := newTestTree(Config{}, 128)
+	for i := 0; i < 5000; i++ {
+		var tx []uint32
+		for r := 0; r < 128; r++ {
+			if rng.Intn(6) == 0 {
+				tx = append(tx, uint32(r))
+			}
+		}
+		if len(tx) > 0 {
+			tree.Insert(tx, 1)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convert(tree)
+	}
+}

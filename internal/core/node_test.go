@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cfpgrowth/internal/arena"
+)
+
+func TestStdNodeRoundTrip(t *testing.T) {
+	cases := []stdNode{
+		{delta: 1, pcount: 0},
+		{delta: 3, pcount: 0, suffix: ptrSlot(0x1234)},
+		{delta: 256, pcount: 7, left: ptrSlot(9), right: ptrSlot(10), suffix: ptrSlot(11)},
+		{delta: 1 << 24, pcount: 1<<32 - 1},
+		{delta: 200, pcount: 5, left: embedSlot(3, 12)},
+		{delta: 5, pcount: 1 << 16, suffix: embedSlot(255, 1<<24-1)},
+	}
+	for i, n := range cases {
+		b := make([]byte, n.size())
+		n.encode(b)
+		got, size := decodeStd(b)
+		if size != len(b) {
+			t.Errorf("case %d: decoded size %d, want %d", i, size, len(b))
+		}
+		if got != n {
+			t.Errorf("case %d: round trip %+v, want %+v", i, got, n)
+		}
+	}
+}
+
+// TestFigure4Example reproduces the paper's Figure 4: Δitem=3, pcount=0,
+// no left/right, a suffix pointer — a 7-byte node.
+func TestFigure4Example(t *testing.T) {
+	n := stdNode{delta: 3, pcount: 0, suffix: ptrSlot(0xAB)}
+	if n.size() != 7 {
+		t.Fatalf("size = %d, want 7 (1 mask + 1 Δitem + 0 pcount + 5 suffix)", n.size())
+	}
+	b := make([]byte, 7)
+	n.encode(b)
+	// Mask: d=11 (3 zero bytes), p=100 (4 zero bytes), slots=001.
+	if b[0] != 0b11_100_001 {
+		t.Errorf("mask = %08b, want 11100001", b[0])
+	}
+	if b[1] != 3 {
+		t.Errorf("Δitem byte = %d, want 3", b[1])
+	}
+}
+
+func TestStdNodeMinimumSize(t *testing.T) {
+	// Smallest standard node: Δitem one byte, pcount zero, no slots.
+	n := stdNode{delta: 200, pcount: 0}
+	if n.size() != 2 {
+		t.Errorf("leaf-with-zero-pcount size = %d, want 2", n.size())
+	}
+	// The paper's "smallest node" (3 bytes) has a one-byte pcount.
+	n = stdNode{delta: 200, pcount: 9}
+	if n.size() != 3 {
+		t.Errorf("small leaf size = %d, want 3", n.size())
+	}
+	// Largest: 4-byte Δitem, 4-byte pcount, three slots.
+	n = stdNode{delta: 1 << 24, pcount: 1 << 24, left: ptrSlot(1), right: ptrSlot(2), suffix: ptrSlot(3)}
+	if n.size() != 24 {
+		t.Errorf("max node size = %d, want 24", n.size())
+	}
+}
+
+func TestStdNodeQuick(t *testing.T) {
+	f := func(delta, pcount uint32, lp, rp, sp uint64, le, re, se bool) bool {
+		if delta == 0 {
+			delta = 1
+		}
+		n := stdNode{delta: delta, pcount: pcount}
+		if le {
+			n.left = ptrSlot(lp % (1 << 39))
+		}
+		if re {
+			n.right = ptrSlot(rp % (1 << 39))
+		}
+		if se {
+			n.suffix = ptrSlot(sp % (1 << 39))
+		}
+		b := make([]byte, n.size())
+		n.encode(b)
+		got, size := decodeStd(b)
+		return got == n && size == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainNodeRoundTrip(t *testing.T) {
+	cases := []chainNode{
+		{deltas: []byte{1, 1}, pcount: 0},
+		{deltas: []byte{1, 2, 3}, pcount: 42, suffix: ptrSlot(77)},
+		{deltas: []byte{255, 255, 1, 9, 200}, pcount: 1<<32 - 1},
+		{deltas: make15(), pcount: 3, suffix: embedSlot(7, 123)},
+	}
+	for i, c := range cases {
+		b := make([]byte, c.size())
+		c.encode(b)
+		got, size := decodeChain(b)
+		if size != len(b) {
+			t.Errorf("case %d: decoded size %d, want %d", i, size, len(b))
+		}
+		if string(got.deltas) != string(c.deltas) || got.pcount != c.pcount || got.suffix != c.suffix {
+			t.Errorf("case %d: round trip %+v, want %+v", i, got, c)
+		}
+	}
+}
+
+func make15() []byte {
+	d := make([]byte, 15)
+	for i := range d {
+		d[i] = byte(i + 1)
+	}
+	return d
+}
+
+func TestChainCompression(t *testing.T) {
+	// A 15-element chain with a 1-byte pcount and no suffix costs
+	// 2+15+1+1 = 19 bytes, ~1.27 bytes per logical node.
+	c := chainNode{deltas: make15(), pcount: 5}
+	if c.size() != 19 {
+		t.Errorf("size = %d, want 19", c.size())
+	}
+}
+
+func TestChainStdDisambiguation(t *testing.T) {
+	// A chain header must never decode as a standard node and vice
+	// versa: the p-field 7 is unreachable for standard nodes.
+	c := chainNode{deltas: []byte{1, 2}, pcount: 0, suffix: ptrSlot(5)}
+	b := make([]byte, c.size())
+	c.encode(b)
+	if !isChain(b[0]) {
+		t.Error("chain header not recognized")
+	}
+	for _, n := range []stdNode{{delta: 1, pcount: 0}, {delta: 1 << 25, pcount: 1 << 25, left: ptrSlot(1)}} {
+		eb := make([]byte, n.size())
+		n.encode(eb)
+		if isChain(eb[0]) {
+			t.Errorf("standard node %+v encodes with chain marker", n)
+		}
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	var b [5]byte
+	for _, v := range []slotVal{
+		ptrSlot(0),
+		ptrSlot(1<<39 + 5),
+		embedSlot(1, 0),
+		embedSlot(255, 1<<24-1),
+	} {
+		writeSlot(b[:], v)
+		if got := readSlot(b[:]); got != v {
+			t.Errorf("slot round trip %+v -> %+v", v, got)
+		}
+	}
+}
+
+func TestNodeSizeAt(t *testing.T) {
+	a := arena.New()
+	n := stdNode{delta: 300, pcount: 2, left: ptrSlot(4), suffix: ptrSlot(9)}
+	off := a.Alloc(n.size())
+	n.encode(a.Bytes(off, n.size()))
+	if got := nodeSizeAt(a, off); got != n.size() {
+		t.Errorf("nodeSizeAt(std) = %d, want %d", got, n.size())
+	}
+	c := chainNode{deltas: []byte{3, 4, 5}, pcount: 1000, suffix: ptrSlot(2)}
+	off2 := a.Alloc(c.size())
+	c.encode(a.Bytes(off2, c.size()))
+	if got := nodeSizeAt(a, off2); got != c.size() {
+		t.Errorf("nodeSizeAt(chain) = %d, want %d", got, c.size())
+	}
+}
+
+func TestSlotOffsetStd(t *testing.T) {
+	n := stdNode{delta: 300, pcount: 2, left: ptrSlot(4), suffix: ptrSlot(9)}
+	b := make([]byte, n.size())
+	n.encode(b)
+	// Layout: 1 mask + 2 Δitem + 1 pcount = 4 header bytes.
+	if got := slotOffsetStd(b, 0); got != 4 {
+		t.Errorf("left slot at %d, want 4", got)
+	}
+	if got := slotOffsetStd(b, 1); got != -1 {
+		t.Errorf("absent right slot at %d, want -1", got)
+	}
+	if got := slotOffsetStd(b, 2); got != 9 {
+		t.Errorf("suffix slot at %d, want 9", got)
+	}
+}
+
+func BenchmarkStdNodeEncode(b *testing.B) {
+	n := stdNode{delta: 3, pcount: 0, suffix: ptrSlot(0x1234)}
+	buf := make([]byte, n.size())
+	for i := 0; i < b.N; i++ {
+		n.encode(buf)
+	}
+}
+
+func BenchmarkStdNodeDecode(b *testing.B) {
+	n := stdNode{delta: 3, pcount: 7, left: ptrSlot(1), suffix: ptrSlot(0x1234)}
+	buf := make([]byte, n.size())
+	n.encode(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeStd(buf)
+	}
+}
+
+func BenchmarkChainNodeDecode(b *testing.B) {
+	c := chainNode{deltas: make15(), pcount: 9, suffix: ptrSlot(77)}
+	buf := make([]byte, c.size())
+	c.encode(buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		decodeChain(buf)
+	}
+}

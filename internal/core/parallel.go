@@ -1,0 +1,145 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+// ParallelGrowth is CFP-growth with the mine phase parallelized across
+// the top-level items, the natural task decomposition of FP-growth's
+// divide and conquer (the paper's related-work class (4), §5). The
+// initial CFP-tree build and conversion stay single-threaded (the build
+// is I/O-bound per §4.1); afterwards each worker owns a private tree
+// arena and processes whole conditional subproblems, so workers share
+// only the read-only initial CFP-array and the (synchronized) sink.
+type ParallelGrowth struct {
+	// Config tunes the CFP-tree compression features.
+	Config Config
+	// Workers is the number of mining goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Track observes modeled memory; it is synchronized internally.
+	Track mine.MemTracker
+	// MaxLen, when positive, prunes the search at that cardinality.
+	MaxLen int
+}
+
+// Name implements mine.Miner.
+func (ParallelGrowth) Name() string { return "cfpgrowth-par" }
+
+// Mine implements mine.Miner. Emission order is nondeterministic, but
+// the emitted set is identical to the serial miner's.
+func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	if n == 0 {
+		return nil
+	}
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
+	}
+	var track mine.MemTracker = mine.NullTracker{}
+	if g.Track != nil {
+		track = &mine.SyncTracker{Inner: g.Track}
+	}
+	buildArena := arena.New()
+	tree := NewTree(buildArena, g.Config, itemName, itemCount)
+	var buf []uint32
+	err = src.Scan(func(tx []uint32) error {
+		buf = rec.Encode(tx, buf[:0])
+		tree.Insert(buf, 1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	track.Alloc(tree.Extent())
+	arr := Convert(tree)
+	track.Free(tree.Extent())
+	buildArena.Reset()
+	track.Alloc(arr.Bytes())
+	defer track.Free(arr.Bytes())
+
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ssink := &mine.SyncSink{Inner: sink}
+	// Buffered and pre-filled so a worker that exits early on error
+	// can never leave the producer blocked. Least frequent items
+	// (deepest pattern bases) go first for load balance.
+	jobs := make(chan int, n)
+	for rk := n - 1; rk >= 0; rk-- {
+		jobs <- rk
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &cfpGrower{
+				cfg:       g.Config,
+				minSup:    minSupport,
+				maxLen:    g.MaxLen,
+				sink:      ssink,
+				track:     track,
+				treeArena: arena.New(),
+			}
+			for rk := range jobs {
+				if err := m.mineTopItem(arr, uint32(rk)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// mineTopItem processes one top-level item: emit it and recurse into
+// its conditional subtree. Mirrors one iteration of mineArray's loop.
+func (m *cfpGrower) mineTopItem(a *Array, rank uint32) error {
+	if a.Nodes(rank) == 0 {
+		return nil
+	}
+	sup := a.Support(rank)
+	if sup < m.minSup {
+		return nil
+	}
+	prefix := []uint32{a.ItemName(rank)}
+	if err := m.emit(prefix, sup); err != nil {
+		return err
+	}
+	if rank == 0 || (m.maxLen > 0 && len(prefix) >= m.maxLen) {
+		return nil
+	}
+	cond := m.conditional(a, rank)
+	if cond == nil {
+		return nil
+	}
+	return m.mineTree(cond, prefix)
+}

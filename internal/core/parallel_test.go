@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 10; trial++ {
+		db := make(dataset.Slice, 40+rng.Intn(60))
+		nItems := 5 + rng.Intn(12)
+		for i := range db {
+			tx := make([]uint32, 1+rng.Intn(nItems))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(nItems))
+			}
+			db[i] = tx
+		}
+		for _, workers := range []int{1, 2, 4} {
+			for _, minSup := range []uint64{1, 3} {
+				want, err := mine.Run(Growth{}, db, minSup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := mine.Run(ParallelGrowth{Workers: workers}, db, minSup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := mine.Diff("parallel", got, "serial", want); d != "" {
+					t.Fatalf("trial %d workers %d minSup %d:\n%s", trial, workers, minSup, d)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelEmptyDatabase(t *testing.T) {
+	var sink mine.CountSink
+	if err := (ParallelGrowth{}).Mine(dataset.Slice{}, 1, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted from empty database")
+	}
+}
+
+func TestParallelSinkErrorPropagates(t *testing.T) {
+	db := dataset.Slice{{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}}
+	s := &stopSink{}
+	err := (ParallelGrowth{Workers: 2}).Mine(db, 1, &mine.SyncSink{Inner: s})
+	if err == nil {
+		t.Fatal("sink error not propagated")
+	}
+}
+
+func TestParallelMemTracking(t *testing.T) {
+	db := dataset.Slice{{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {1, 2, 3}}
+	var tr mine.PeakTracker
+	if err := (ParallelGrowth{Workers: 3, Track: &tr}).Mine(db, 2, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Peak <= 0 {
+		t.Error("no memory tracked")
+	}
+	if tr.Cur != 0 {
+		t.Errorf("tracker imbalance: %d", tr.Cur)
+	}
+}
+
+func TestParallelMaxLen(t *testing.T) {
+	db := dataset.Slice{{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}}
+	var sink mine.CollectSink
+	ss := &mine.SyncSink{Inner: &sink}
+	if err := (ParallelGrowth{Workers: 2, MaxLen: 2}).Mine(db, 2, ss); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sink.Sets {
+		if len(s.Items) > 2 {
+			t.Errorf("itemset %v exceeds MaxLen", s.Items)
+		}
+	}
+	// All 1- and 2-itemsets over 4 items: 4 + 6 = 10.
+	if len(sink.Sets) != 10 {
+		t.Errorf("got %d itemsets, want 10", len(sink.Sets))
+	}
+}
+
+func TestParallelMoreWorkersThanItems(t *testing.T) {
+	db := dataset.Slice{{1}, {1}, {2}, {2}}
+	got, err := mine.Run(ParallelGrowth{Workers: 16}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func BenchmarkParallelVsSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := make(dataset.Slice, 2000)
+	for i := range db {
+		tx := make([]uint32, 3+rng.Intn(15))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(60))
+		}
+		db[i] = tx
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := (Growth{}).Mine(db, 30, &mine.CountSink{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink := &mine.SyncSink{Inner: &mine.CountSink{}}
+			if err := (ParallelGrowth{Workers: 4}).Mine(db, 30, sink); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"cfpgrowth/internal/encoding"
+)
+
+// CFP-array on-disk format: because the structure is already a compact
+// byte array with a small index, it serializes almost verbatim — which
+// is what makes it attractive as a persistent compressed itemset index
+// (mine repeatedly, at any support above the build support, without
+// re-scanning the database).
+//
+//	magic "CFPA" | version u8
+//	numItems uvarint | numNodes uvarint | dataLen uvarint
+//	per item: itemName uvarint, subarray-length uvarint,
+//	          support uvarint, node-count uvarint
+//	data bytes
+//	crc32(IEEE) of everything above, u32 little-endian
+
+var arrayMagic = [4]byte{'C', 'F', 'P', 'A'}
+
+const arrayVersion = 1
+
+// ErrBadFormat reports a malformed or corrupted serialized CFP-array.
+var ErrBadFormat = errors.New("core: malformed CFP-array data")
+
+// WriteTo serializes the array with a checksum trailer. It implements
+// io.WriterTo.
+func (a *Array) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	n, err := a.writeBody(io.MultiWriter(w, crc))
+	if err != nil {
+		return n, err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return n, err
+	}
+	return n + 4, nil
+}
+
+// writeBody writes everything except the checksum trailer.
+func (a *Array) writeBody(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	var scratch [encoding.MaxVarintLen64]byte
+	uv := func(v uint64) error {
+		n := encoding.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if _, err := bw.Write(arrayMagic[:]); err != nil {
+		return cw.n, err
+	}
+	if err := bw.WriteByte(arrayVersion); err != nil {
+		return cw.n, err
+	}
+	if err := uv(uint64(a.NumItems())); err != nil {
+		return cw.n, err
+	}
+	if err := uv(uint64(a.numNodes)); err != nil {
+		return cw.n, err
+	}
+	if err := uv(uint64(len(a.data))); err != nil {
+		return cw.n, err
+	}
+	for i := 0; i < a.NumItems(); i++ {
+		if err := uv(uint64(a.itemName[i])); err != nil {
+			return cw.n, err
+		}
+		if err := uv(a.starts[i+1] - a.starts[i]); err != nil {
+			return cw.n, err
+		}
+		if err := uv(a.support[i]); err != nil {
+			return cw.n, err
+		}
+		if err := uv(uint64(a.nodes[i])); err != nil {
+			return cw.n, err
+		}
+	}
+	if _, err := bw.Write(a.data); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadArray deserializes an array written by WriteTo and verifies the
+// checksum (by recomputing it over a re-serialization, which doubles as
+// a round-trip self-check).
+func ReadArray(r io.Reader) (*Array, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if [4]byte(hdr[:4]) != arrayMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if hdr[4] != arrayVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, hdr[4])
+	}
+	uv := func() (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		return v, nil
+	}
+	numItems, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	if numItems > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible item count", ErrBadFormat)
+	}
+	numNodes, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	dataLen, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	// A forged header can claim arbitrarily large counts; never
+	// preallocate from it. Each item costs at least four input bytes,
+	// so growing with append keeps memory proportional to actual input.
+	const initCap = 1 << 12
+	a := &Array{
+		itemName: make([]uint32, 0, min(numItems, initCap)),
+		starts:   make([]uint64, 0, min(numItems+1, initCap)),
+		support:  make([]uint64, 0, min(numItems, initCap)),
+		nodes:    make([]int, 0, min(numItems, initCap)),
+		numNodes: int(numNodes),
+	}
+	var off uint64
+	for i := uint64(0); i < numItems; i++ {
+		name, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		a.itemName = append(a.itemName, uint32(name))
+		l, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		a.starts = append(a.starts, off)
+		off += l
+		sup, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		a.support = append(a.support, sup)
+		nc, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		a.nodes = append(a.nodes, int(nc))
+	}
+	a.starts = append(a.starts, off)
+	if off != dataLen {
+		return nil, fmt.Errorf("%w: subarray lengths disagree with data length", ErrBadFormat)
+	}
+	// Same principle for the payload: read in bounded chunks so a
+	// forged length fails at the real end of input, not after a giant
+	// allocation.
+	a.data = make([]byte, 0, min(dataLen, 1<<20))
+	for remaining := dataLen; remaining > 0; {
+		chunk := min(remaining, 1<<20)
+		start := uint64(len(a.data))
+		a.data = append(a.data, make([]byte, chunk)...)
+		if _, err := io.ReadFull(br, a.data[start:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		remaining -= chunk
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadFormat)
+	}
+	crc := crc32.NewIEEE()
+	if _, err := a.writeBody(crc); err != nil {
+		return nil, err
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
+	}
+	return a, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,154 @@
+package core
+
+// Visitor observes a depth-first traversal of the logical CFP-tree.
+// Enter is called pre-order with the node's item rank and pcount; Leave
+// is called post-order. Calls nest properly, so a visitor can maintain
+// ancestor state on a stack. Siblings are visited in ascending item
+// order (in-order over the sibling BSTs), which is also the order the
+// conversion relies on for Δpos locality (§3.5).
+type Visitor interface {
+	Enter(rank uint32, pcount uint32)
+	Leave()
+}
+
+// Walk traverses the logical tree. The tree must not be modified during
+// the walk.
+func (t *Tree) Walk(v Visitor) {
+	t.walkSlot(t.root, -1, v)
+}
+
+func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor) {
+	switch sv.kind {
+	case slotNone:
+		return
+	case slotEmbed:
+		v.Enter(uint32(parentRank+int64(sv.eDelta)), sv.ePcount)
+		v.Leave()
+	default: // slotPtr
+		b := t.nodeBytes(sv.ptr)
+		if isChain(b[0]) {
+			c, _ := decodeChain(b)
+			r := parentRank
+			last := len(c.deltas) - 1
+			for i, d := range c.deltas {
+				r += int64(d)
+				pc := uint32(0)
+				if i == last {
+					pc = c.pcount
+				}
+				v.Enter(uint32(r), pc)
+			}
+			suffix := c.suffix // value copy: safe across the recursion
+			n := len(c.deltas)
+			t.walkSlot(suffix, r, v)
+			for i := 0; i < n; i++ {
+				v.Leave()
+			}
+		} else {
+			n, _ := decodeStd(b)
+			t.walkSlot(n.left, parentRank, v)
+			r := parentRank + int64(n.delta)
+			v.Enter(uint32(r), n.pcount)
+			t.walkSlot(n.suffix, r, v)
+			v.Leave()
+			t.walkSlot(n.right, parentRank, v)
+		}
+	}
+}
+
+// PathNode is one element of a single-path tree.
+type PathNode struct {
+	Rank   uint32
+	Pcount uint32
+}
+
+// SinglePath reports whether the whole tree is one downward path and,
+// if so, returns its nodes from depth 1 to the leaf. CFP-growth
+// short-circuits such trees without converting them (the FP-growth
+// single-path optimization).
+func (t *Tree) SinglePath() ([]PathNode, bool) {
+	var path []PathNode
+	sv := t.root
+	parentRank := int64(-1)
+	for sv.kind != slotNone {
+		switch sv.kind {
+		case slotEmbed:
+			path = append(path, PathNode{Rank: uint32(parentRank + int64(sv.eDelta)), Pcount: sv.ePcount})
+			return path, true
+		default:
+			b := t.nodeBytes(sv.ptr)
+			if isChain(b[0]) {
+				c, _ := decodeChain(b)
+				r := parentRank
+				last := len(c.deltas) - 1
+				for i, d := range c.deltas {
+					r += int64(d)
+					pc := uint32(0)
+					if i == last {
+						pc = c.pcount
+					}
+					path = append(path, PathNode{Rank: uint32(r), Pcount: pc})
+				}
+				parentRank = r
+				sv = c.suffix
+			} else {
+				n, _ := decodeStd(b)
+				if n.left.kind != slotNone || n.right.kind != slotNone {
+					return nil, false
+				}
+				r := parentRank + int64(n.delta)
+				path = append(path, PathNode{Rank: uint32(r), Pcount: n.pcount})
+				parentRank = r
+				sv = n.suffix
+			}
+		}
+	}
+	return path, true
+}
+
+// CheckInvariants validates the structural invariants of the tree and
+// returns a description of the first violation, or "". Used by tests.
+func (t *Tree) CheckInvariants() string {
+	chk := &invariantChecker{t: t}
+	t.Walk(chk)
+	if chk.err != "" {
+		return chk.err
+	}
+	if chk.nodes != t.numNodes {
+		return "node count mismatch between walk and counter"
+	}
+	if chk.pcountSum != t.numTx {
+		return "sum of pcounts does not equal inserted weight"
+	}
+	if chk.depth != 0 {
+		return "unbalanced Enter/Leave"
+	}
+	return ""
+}
+
+type invariantChecker struct {
+	t         *Tree
+	stack     []uint32
+	depth     int
+	nodes     int
+	pcountSum uint64
+	err       string
+}
+
+func (c *invariantChecker) Enter(rank uint32, pcount uint32) {
+	if c.depth > 0 {
+		parent := c.stack[c.depth-1]
+		if rank <= parent {
+			c.err = "child rank not greater than parent rank"
+		}
+	}
+	if int(rank) >= len(c.t.itemName) && len(c.t.itemName) > 0 {
+		c.err = "rank out of item space"
+	}
+	c.stack = append(c.stack[:c.depth], rank)
+	c.depth++
+	c.nodes++
+	c.pcountSum += uint64(pcount)
+}
+
+func (c *invariantChecker) Leave() { c.depth-- }

@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"cfpgrowth/internal/encoding"
+)
+
+// Binary transaction format. The paper notes (§4.1) that replacing the
+// FIMI text files with binary input would shrink them by roughly 40%;
+// this format realizes that: each transaction is a varint length
+// followed by varint delta-encoded, ascending item identifiers.
+//
+//	magic "CFPT" | version u8 | numTx uvarint
+//	per transaction: length uvarint, then length varint deltas
+//	                 (first = item0+1, then item[i]-item[i-1];
+//	                 unsorted input is stored sorted)
+
+var binaryMagic = [4]byte{'C', 'F', 'P', 'T'}
+
+const binaryVersion = 1
+
+// ErrBadBinary reports a malformed binary transaction file.
+var ErrBadBinary = errors.New("dataset: malformed binary transaction data")
+
+// WriteBinary serializes db in the binary format. Transactions are
+// sorted (and deduplicated) on the way out; mining semantics are
+// unaffected because transactions are sets.
+func WriteBinary(w io.Writer, db Slice) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	var scratch [encoding.MaxVarintLen64]byte
+	uv := func(v uint64) error {
+		n := encoding.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := uv(uint64(len(db))); err != nil {
+		return err
+	}
+	var sorted []Item
+	for _, tx := range db {
+		sorted = append(sorted[:0], tx...)
+		sortDedupe(&sorted)
+		if err := uv(uint64(len(sorted))); err != nil {
+			return err
+		}
+		prev := int64(-1)
+		for _, it := range sorted {
+			if err := uv(uint64(int64(it) - prev)); err != nil {
+				return err
+			}
+			prev = int64(it)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a complete binary database into memory.
+func ReadBinary(r io.Reader) (Slice, error) {
+	var db Slice
+	err := scanBinary(r, func(tx []Item) error {
+		cp := make([]Item, len(tx))
+		copy(cp, tx)
+		db = append(db, cp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if db == nil {
+		db = Slice{}
+	}
+	return db, nil
+}
+
+// scanBinary streams transactions to fn.
+func scanBinary(r io.Reader, fn func(tx []Item) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBinary, err)
+	}
+	if [4]byte(hdr[:4]) != binaryMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadBinary)
+	}
+	if hdr[4] != binaryVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadBinary, hdr[4])
+	}
+	numTx, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBinary, err)
+	}
+	var tx []Item
+	for t := uint64(0); t < numTx; t++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: transaction %d: %v", ErrBadBinary, t, err)
+		}
+		if l > 1<<24 {
+			return fmt.Errorf("%w: implausible transaction length %d", ErrBadBinary, l)
+		}
+		tx = tx[:0]
+		prev := int64(-1)
+		for i := uint64(0); i < l; i++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("%w: transaction %d item %d: %v", ErrBadBinary, t, i, err)
+			}
+			if d == 0 {
+				return fmt.Errorf("%w: zero delta (duplicate item)", ErrBadBinary)
+			}
+			v := prev + int64(d)
+			if v > 1<<32-1 {
+				return fmt.Errorf("%w: item exceeds 32 bits", ErrBadBinary)
+			}
+			tx = append(tx, Item(v))
+			prev = v
+		}
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BinaryFile is a file-backed Source in the binary format.
+type BinaryFile struct {
+	Path string
+}
+
+// Scan implements Source.
+func (f *BinaryFile) Scan(fn func(tx []Item) error) error {
+	fh, err := os.Open(f.Path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return scanBinary(fh, fn)
+}
+
+// WriteBinaryFile writes db to path in binary format.
+func WriteBinaryFile(path string, db Slice) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sortDedupe sorts s ascending and removes duplicates in place.
+func sortDedupe(s *[]Item) {
+	v := *s
+	// Insertion sort is fine: transactions are short relative to IO.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	w := 0
+	for i, x := range v {
+		if i == 0 || x != v[w-1] {
+			v[w] = x
+			w++
+		}
+	}
+	*s = v[:w]
+}

@@ -1,0 +1,265 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadAll parses a complete FIMI-format database from r into memory.
+// Lines hold space-separated non-negative integers; empty lines are
+// empty transactions. Windows line endings are tolerated.
+func ReadAll(r io.Reader) (Slice, error) {
+	var db Slice
+	p := newParser(r)
+	for {
+		tx, err := p.next(nil)
+		if err == io.EOF {
+			return db, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tx == nil {
+			tx = []Item{}
+		}
+		db = append(db, tx)
+	}
+}
+
+// Write serializes db in FIMI format.
+func Write(w io.Writer, db Slice) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scratch [12]byte
+	for _, tx := range db {
+		for i, it := range tx {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.Write(strconv.AppendUint(scratch[:0], uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes db to path in FIMI format.
+func WriteFile(path string, db Slice) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses the FIMI file at path into memory.
+func ReadFile(path string) (Slice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// File is a file-backed Source. Every Scan re-opens the file and
+// streams it through the asynchronous double-buffered reader, so the
+// database never needs to fit in memory.
+type File struct {
+	Path string
+	// BufferSize is the size of each of the two input buffers; 0 means
+	// a 1 MiB default.
+	BufferSize int
+}
+
+// Scan implements Source.
+func (f *File) Scan(fn func(tx []Item) error) error {
+	fh, err := os.Open(f.Path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	size := f.BufferSize
+	if size <= 0 {
+		size = 1 << 20
+	}
+	dr := newDoubleBuffered(fh, size)
+	defer dr.stop()
+	p := newParser(dr)
+	var buf []Item
+	for {
+		tx, err := p.next(buf[:0])
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buf = tx
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+}
+
+// parser incrementally tokenizes FIMI lines from an io.Reader.
+type parser struct {
+	br   *bufio.Reader
+	line int
+}
+
+func newParser(r io.Reader) *parser {
+	return &parser{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// next parses one transaction, appending items to buf. It returns
+// io.EOF once the input is exhausted.
+func (p *parser) next(buf []Item) ([]Item, error) {
+	tx := buf
+	var val uint64
+	inNum := false
+	sawAny := false
+	for {
+		b, err := p.br.ReadByte()
+		if err == io.EOF {
+			if inNum {
+				tx = append(tx, Item(val))
+			}
+			if sawAny || len(tx) > 0 {
+				return tx, nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		sawAny = true
+		switch {
+		case b >= '0' && b <= '9':
+			val = val*10 + uint64(b-'0')
+			if val > 1<<32-1 {
+				return nil, fmt.Errorf("dataset: line %d: item identifier exceeds 32 bits", p.line+1)
+			}
+			inNum = true
+		case b == ' ' || b == '\t' || b == '\r':
+			if inNum {
+				tx = append(tx, Item(val))
+				val, inNum = 0, false
+			}
+		case b == '\n':
+			if inNum {
+				tx = append(tx, Item(val))
+			}
+			p.line++
+			return tx, nil
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unexpected byte %q", p.line+1, b)
+		}
+	}
+}
+
+// doubleBuffered implements the paper's asynchronous double buffering
+// (§4.1): a background goroutine fills one buffer from the underlying
+// reader while the consumer drains the other, overlapping I/O with
+// parsing and tree construction.
+type doubleBuffered struct {
+	full   chan block
+	free   chan []byte
+	cur    []byte // unread tail of curBuf
+	curBuf []byte // full buffer backing cur, recycled when drained
+	err    error
+	done   chan struct{}
+}
+
+type block struct {
+	data []byte
+	err  error
+}
+
+func newDoubleBuffered(r io.Reader, size int) *doubleBuffered {
+	d := &doubleBuffered{
+		full: make(chan block, 2),
+		free: make(chan []byte, 2),
+		done: make(chan struct{}),
+	}
+	d.free <- make([]byte, size)
+	d.free <- make([]byte, size)
+	go func() {
+		defer close(d.full)
+		for {
+			var buf []byte
+			select {
+			case buf = <-d.free:
+			case <-d.done:
+				return
+			}
+			n, err := io.ReadFull(r, buf)
+			if n > 0 {
+				select {
+				case d.full <- block{data: buf[:n]}:
+				case <-d.done:
+					return
+				}
+			}
+			if err != nil {
+				if err == io.ErrUnexpectedEOF {
+					err = io.EOF
+				}
+				select {
+				case d.full <- block{err: err}:
+				case <-d.done:
+				}
+				return
+			}
+		}
+	}()
+	return d
+}
+
+// Read implements io.Reader.
+func (d *doubleBuffered) Read(p []byte) (int, error) {
+	for len(d.cur) == 0 {
+		if d.err != nil {
+			return 0, d.err
+		}
+		blk, ok := <-d.full
+		if !ok {
+			return 0, io.EOF
+		}
+		if blk.err != nil {
+			d.err = blk.err
+			if len(blk.data) == 0 {
+				return 0, d.err
+			}
+		}
+		if d.curBuf != nil {
+			// Hand the drained buffer back to the producer.
+			select {
+			case d.free <- d.curBuf[:cap(d.curBuf)]:
+			default:
+			}
+		}
+		d.cur, d.curBuf = blk.data, blk.data
+	}
+	n := copy(p, d.cur)
+	d.cur = d.cur[n:]
+	return n, nil
+}
+
+// stop terminates the background goroutine early (e.g. when the
+// consumer aborts mid-scan).
+func (d *doubleBuffered) stop() {
+	close(d.done)
+}

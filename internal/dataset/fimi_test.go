@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadAllBasic(t *testing.T) {
+	in := "1 2 3\n4 5\n\n6\n"
+	db, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Slice{{1, 2, 3}, {4, 5}, {}, {6}}
+	if !reflect.DeepEqual(db, want) {
+		t.Errorf("ReadAll = %v, want %v", db, want)
+	}
+}
+
+func TestReadAllNoTrailingNewline(t *testing.T) {
+	db, err := ReadAll(strings.NewReader("1 2\n3 4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Slice{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(db, want) {
+		t.Errorf("ReadAll = %v, want %v", db, want)
+	}
+}
+
+func TestReadAllCRLFAndExtraSpace(t *testing.T) {
+	db, err := ReadAll(strings.NewReader("1  2\t3\r\n 4 \r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Slice{{1, 2, 3}, {4}}
+	if !reflect.DeepEqual(db, want) {
+		t.Errorf("ReadAll = %v, want %v", db, want)
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("1 2 x\n")); err == nil {
+		t.Error("ReadAll accepted non-numeric input")
+	}
+}
+
+func TestReadAllRejectsHugeItem(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("99999999999\n")); err == nil {
+		t.Error("ReadAll accepted a >32-bit item identifier")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db := Slice{{1, 2, 3}, {1000000, 42}, {}, {7}}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, db) {
+		t.Errorf("round trip = %v, want %v", got, db)
+	}
+}
+
+func TestFileSourceScanMatchesReadAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := make(Slice, 500)
+	for i := range db {
+		tx := make([]Item, 1+rng.Intn(30))
+		for j := range tx {
+			tx[j] = Item(rng.Intn(10000))
+		}
+		db[i] = tx
+	}
+	path := filepath.Join(t.TempDir(), "data.fimi")
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	// Small buffer forces many block handoffs through the double
+	// buffering machinery.
+	src := &File{Path: path, BufferSize: 64}
+	var got Slice
+	err := src.Scan(func(tx []Item) error {
+		cp := make([]Item, len(tx))
+		copy(cp, tx)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, db) {
+		t.Fatalf("File.Scan mismatch: got %d txs, want %d", len(got), len(db))
+	}
+	// A second scan must see the same data (two-pass requirement).
+	count := 0
+	if err := src.Scan(func(tx []Item) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(db) {
+		t.Errorf("second Scan saw %d txs, want %d", count, len(db))
+	}
+}
+
+func TestFileScanEarlyAbort(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.fimi")
+	if err := os.WriteFile(path, []byte("1\n2\n3\n4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := &File{Path: path, BufferSize: 2}
+	stop := os.ErrClosed
+	n := 0
+	err := src.Scan(func(tx []Item) error {
+		n++
+		if n == 2 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Errorf("Scan error = %v, want sentinel", err)
+	}
+	if n != 2 {
+		t.Errorf("visited %d transactions, want 2", n)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile("/nonexistent/path/file.fimi"); err == nil {
+		t.Error("ReadFile on missing file succeeded")
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := make(Slice, 2000)
+	for i := range db {
+		tx := make([]Item, 20)
+		for j := range tx {
+			tx[j] = Item(rng.Intn(100000))
+		}
+		db[i] = tx
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, db); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAll checks that arbitrary byte input never panics the FIMI
+// parser and that anything it accepts round-trips through Write.
+func FuzzReadAll(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("4294967295\n")
+	f.Add("1  2\t3\r\n")
+	f.Add("999999999999999\n")
+	f.Add("1 2 x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, db); err != nil {
+			t.Fatalf("Write of accepted input failed: %v", err)
+		}
+		db2, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written output failed: %v", err)
+		}
+		if len(db2) != len(db) {
+			t.Fatalf("round trip changed transaction count: %d -> %d", len(db), len(db2))
+		}
+	})
+}
+
+// FuzzReadBinary checks that arbitrary bytes never panic the binary
+// reader.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteBinary(&seed, Slice{{1, 2, 3}, {7}})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CFPT\x01"))
+	f.Add([]byte("CFPT\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a round trip.
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, db); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		if _, err := ReadBinary(&buf); err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+	})
+}

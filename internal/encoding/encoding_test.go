@@ -1,0 +1,204 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutUvarintKnownValues(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{300, []byte{0xac, 0x02}},
+		// The paper's §2.3 example: 0x00000090 encodes into two bytes
+		// 10010000 00000001 (low 7 bits first with continuation bit).
+		{0x90, []byte{0x90, 0x01}},
+		{16383, []byte{0xff, 0x7f}},
+		{16384, []byte{0x80, 0x80, 0x01}},
+		{math.MaxUint32, []byte{0xff, 0xff, 0xff, 0xff, 0x0f}},
+		{math.MaxUint64, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+	}
+	for _, c := range cases {
+		var buf [MaxVarintLen64]byte
+		n := PutUvarint(buf[:], c.v)
+		if n != len(c.want) {
+			t.Errorf("PutUvarint(%d) wrote %d bytes, want %d", c.v, n, len(c.want))
+			continue
+		}
+		for i := range c.want {
+			if buf[i] != c.want[i] {
+				t.Errorf("PutUvarint(%d) byte %d = %#x, want %#x", c.v, i, buf[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf [MaxVarintLen64]byte
+		n := PutUvarint(buf[:], v)
+		got, m := Uvarint(buf[:n])
+		return got == v && m == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintLenMatchesPut(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf [MaxVarintLen64]byte
+		return UvarintLen(v) == PutUvarint(buf[:], v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkipUvarintMatchesPut(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf [MaxVarintLen64]byte
+		n := PutUvarint(buf[:], v)
+		return SkipUvarint(buf[:n]) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	var buf [MaxVarintLen64]byte
+	n := PutUvarint(buf[:], 1<<40)
+	if v, m := Uvarint(buf[:n-1]); m != 0 {
+		t.Errorf("Uvarint on truncated input = (%d, %d), want n == 0", v, m)
+	}
+}
+
+func TestUvarintOverflow(t *testing.T) {
+	// 11 continuation bytes: value does not fit in 64 bits.
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02}
+	if _, n := Uvarint(buf); n >= 0 {
+		t.Errorf("Uvarint on overflowing input: n = %d, want < 0", n)
+	}
+	// Exactly 10 bytes but top byte too large (would need bit 64+).
+	buf2 := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	if _, n := Uvarint(buf2); n >= 0 {
+		t.Errorf("Uvarint on 10-byte overflow: n = %d, want < 0", n)
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return Unzigzag(Zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzagSmallMagnitude(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, 63: 126, -64: 127}
+	for v, want := range cases {
+		if got := Zigzag(v); got != want {
+			t.Errorf("Zigzag(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestZeroBytes32(t *testing.T) {
+	cases := map[uint32]int{
+		0:              4,
+		1:              3,
+		255:            3,
+		256:            2,
+		65535:          2,
+		65536:          1,
+		0x00000090:     3, // §2.3 example value
+		1 << 24:        0,
+		math.MaxUint32: 0,
+	}
+	for v, want := range cases {
+		if got := ZeroBytes32(v); got != want {
+			t.Errorf("ZeroBytes32(%#x) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSuppressed32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		var buf [4]byte
+		zb := ZeroBytes32(v)
+		n := PutSuppressed32(buf[:], v, zb)
+		if n != 4-zb {
+			return false
+		}
+		return Suppressed32(buf[:], zb) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuppressed32ConservativeMask(t *testing.T) {
+	// Using a smaller-than-optimal zero count must still round-trip.
+	var buf [4]byte
+	n := PutSuppressed32(buf[:], 0x90, 0)
+	if n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	if got := Suppressed32(buf[:], 0); got != 0x90 {
+		t.Fatalf("got %#x, want 0x90", got)
+	}
+}
+
+func TestPtr40RoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v %= MaxPtr40 + 1
+		var buf [Ptr40Len]byte
+		PutPtr40(buf[:], v)
+		if buf[0] == Ptr40EmbedMarker {
+			return false // reserved marker must never appear
+		}
+		return Ptr40(buf[:]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPtr40HighByteFirst(t *testing.T) {
+	var buf [Ptr40Len]byte
+	PutPtr40(buf[:], 0xAB_1234_5678)
+	want := [Ptr40Len]byte{0xAB, 0x12, 0x34, 0x56, 0x78}
+	if buf != want {
+		t.Fatalf("buf = %x, want %x", buf, want)
+	}
+}
+
+func BenchmarkPutUvarintSmall(b *testing.B) {
+	var buf [MaxVarintLen64]byte
+	for i := 0; i < b.N; i++ {
+		PutUvarint(buf[:], uint64(i)&0x7f)
+	}
+}
+
+func BenchmarkUvarintSmall(b *testing.B) {
+	var buf [MaxVarintLen64]byte
+	PutUvarint(buf[:], 97)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Uvarint(buf[:])
+	}
+}
+
+func BenchmarkPutSuppressed32(b *testing.B) {
+	var buf [4]byte
+	for i := 0; i < b.N; i++ {
+		v := uint32(i)
+		PutSuppressed32(buf[:], v, ZeroBytes32(v))
+	}
+}

@@ -1,0 +1,217 @@
+package fptree
+
+import (
+	"sort"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+// Growth is the FP-growth baseline miner (§2.1) operating on classic
+// ternary FP-trees. It serves as the reference point that the paper's
+// CFP-growth improves upon.
+type Growth struct {
+	// Track observes modeled memory consumption; nil disables tracking.
+	Track mine.MemTracker
+	// MaxLen, when positive, prunes the search at itemsets of that
+	// cardinality.
+	MaxLen int
+}
+
+// Name implements mine.Miner.
+func (Growth) Name() string { return "fpgrowth" }
+
+// Mine implements mine.Miner.
+func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	n := rec.NumFrequent()
+	if n == 0 {
+		return nil
+	}
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
+	}
+	tree := New(itemName, itemCount)
+	var buf []uint32
+	err = src.Scan(func(tx []uint32) error {
+		buf = rec.Encode(tx, buf[:0])
+		tree.Insert(buf, 1)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return MineTreeMaxLen(tree, minSupport, sink, g.Track, 0, g.MaxLen)
+}
+
+// MineTree runs the FP-growth recursion over an already-built tree,
+// emitting every frequent itemset (in the tree's ItemName space) whose
+// support reaches minSupport. nodeBytes overrides the modeled per-node
+// memory cost reported to track (0 means BaselineNodeSize, the 40-byte
+// node of the implementations the paper compares against); variant
+// algorithms with different physical layouts reuse the recursion with
+// their own cost model.
+func MineTree(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64) error {
+	return MineTreeMaxLen(tree, minSupport, sink, track, nodeBytes, 0)
+}
+
+// MineTreeMaxLen is MineTree with the search pruned at itemsets of
+// maxLen items (0 = unlimited).
+func MineTreeMaxLen(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int) error {
+	if track == nil {
+		track = mine.NullTracker{}
+	}
+	if nodeBytes == 0 {
+		nodeBytes = BaselineNodeSize
+	}
+	m := &grower{minSup: minSupport, maxLen: maxLen, sink: sink, track: track, nodeBytes: nodeBytes}
+	track.Alloc(nodeBytes * int64(tree.NumNodes()))
+	defer track.Free(nodeBytes * int64(tree.NumNodes()))
+	return m.mine(tree, nil)
+}
+
+// grower carries the recursion state of FP-growth.
+type grower struct {
+	minSup    uint64
+	maxLen    int
+	sink      mine.Sink
+	track     mine.MemTracker
+	nodeBytes int64
+	emitBuf   []uint32
+}
+
+// emit sorts prefix into ascending identifier order and forwards it.
+func (m *grower) emit(prefix []uint32, support uint64) error {
+	m.emitBuf = append(m.emitBuf[:0], prefix...)
+	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	return m.sink.Emit(m.emitBuf, support)
+}
+
+// mine emits every frequent itemset that extends prefix with items of
+// tree t (§2.1: pick least frequent item, recurse on its conditional
+// tree, remove, repeat).
+func (m *grower) mine(t *Tree, prefix []uint32) error {
+	if path, ok := t.SinglePath(); ok {
+		return m.minePath(t, path, prefix)
+	}
+	for rk := len(t.Heads) - 1; rk >= 0; rk-- {
+		if t.Heads[uint32(rk)] == 0 {
+			continue
+		}
+		sup := t.ItemCount[rk]
+		if sup < m.minSup {
+			continue
+		}
+		prefix = append(prefix, t.ItemName[rk])
+		if err := m.emit(prefix, sup); err != nil {
+			return err
+		}
+		var cond *Tree
+		if m.maxLen <= 0 || len(prefix) < m.maxLen {
+			cond = m.conditional(t, uint32(rk))
+		}
+		if cond != nil {
+			bytes := m.nodeBytes * int64(cond.NumNodes())
+			m.track.Alloc(bytes)
+			err := m.mine(cond, prefix)
+			m.track.Free(bytes)
+			if err != nil {
+				return err
+			}
+		}
+		prefix = prefix[:len(prefix)-1]
+	}
+	return nil
+}
+
+// minePath handles a single-path tree: every non-empty subset of the
+// path is frequent, with support equal to the count of its deepest
+// node (counts are non-increasing along the path).
+func (m *grower) minePath(t *Tree, path []uint32, prefix []uint32) error {
+	var rec func(i int, prefix []uint32) error
+	rec = func(i int, prefix []uint32) error {
+		if m.maxLen > 0 && len(prefix) >= m.maxLen {
+			return nil
+		}
+		for j := i; j < len(path); j++ {
+			nd := &t.Nodes[path[j]]
+			sup := uint64(nd.Count)
+			if sup < m.minSup {
+				// Counts are non-increasing: nothing deeper qualifies.
+				return nil
+			}
+			prefix = append(prefix, t.ItemName[nd.Item])
+			if err := m.emit(prefix, sup); err != nil {
+				return err
+			}
+			if err := rec(j+1, prefix); err != nil {
+				return err
+			}
+			prefix = prefix[:len(prefix)-1]
+		}
+		return nil
+	}
+	return rec(0, prefix)
+}
+
+// conditional builds the conditional FP-tree of item rank rk: the tree
+// over the prefixes (restricted to conditionally frequent items) of all
+// occurrences of rk, weighted by occurrence counts. The conditional
+// item space keeps the parent tree's rank order, so paths arrive
+// already sorted and no re-ranking pass is needed. Returns nil when the
+// conditional tree is empty.
+func (m *grower) conditional(t *Tree, rk uint32) *Tree {
+	// Pass 1 over the nodelink chain: conditional item supports.
+	condCount := make([]uint64, rk)
+	for n := t.Heads[rk]; n != 0; n = t.Nodes[n].Nodelink {
+		w := uint64(t.Nodes[n].Count)
+		for p := t.Nodes[n].Parent; p != 0; p = t.Nodes[p].Parent {
+			condCount[t.Nodes[p].Item] += w
+		}
+	}
+	any := false
+	for _, c := range condCount {
+		if c >= m.minSup {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	cond := New(t.ItemName[:rk], condCount)
+	// Pass 2: insert each filtered prefix path with its weight.
+	var path []uint32
+	for n := t.Heads[rk]; n != 0; n = t.Nodes[n].Nodelink {
+		w := t.Nodes[n].Count
+		path = path[:0]
+		for p := t.Nodes[n].Parent; p != 0; p = t.Nodes[p].Parent {
+			it := t.Nodes[p].Item
+			if condCount[it] >= m.minSup {
+				path = append(path, it)
+			}
+		}
+		if len(path) == 0 {
+			continue
+		}
+		// The parent walk yields ranks in descending order; reverse.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		cond.Insert(path, w)
+	}
+	if cond.NumNodes() == 0 {
+		return nil
+	}
+	return cond
+}

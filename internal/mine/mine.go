@@ -1,0 +1,271 @@
+// Package mine defines the common contract shared by all frequent-
+// itemset miners in this repository (CFP-growth, the FP-growth
+// baseline, and the comparison algorithms), plus result sinks, a
+// brute-force reference miner, and canonical result comparison used by
+// the cross-validation tests.
+package mine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"cfpgrowth/internal/dataset"
+)
+
+// Sink receives frequent itemsets as they are discovered. The items
+// slice holds original item identifiers sorted ascending; it is only
+// valid for the duration of the call, so sinks that retain it must
+// copy. Emit errors abort the mining run.
+type Sink interface {
+	Emit(items []uint32, support uint64) error
+}
+
+// Miner is a complete frequent-itemset mining algorithm: given a
+// (re-scannable) database and an absolute minimum support, it emits
+// every itemset whose support is at least minSupport, including
+// singletons, each exactly once.
+type Miner interface {
+	// Name identifies the algorithm in harness output.
+	Name() string
+	Mine(src dataset.Source, minSupport uint64, sink Sink) error
+}
+
+// Itemset is a materialized result: items sorted ascending.
+type Itemset struct {
+	Items   []uint32
+	Support uint64
+}
+
+// CountSink tallies itemsets without materializing them.
+type CountSink struct {
+	N      uint64   // total itemsets
+	ByLen  []uint64 // itemsets per cardinality (index = |I|)
+	MaxLen int
+}
+
+// Emit implements Sink.
+func (s *CountSink) Emit(items []uint32, support uint64) error {
+	s.N++
+	for len(s.ByLen) <= len(items) {
+		s.ByLen = append(s.ByLen, 0)
+	}
+	s.ByLen[len(items)]++
+	if len(items) > s.MaxLen {
+		s.MaxLen = len(items)
+	}
+	return nil
+}
+
+// CollectSink materializes every itemset. Intended for tests and small
+// problems only.
+type CollectSink struct {
+	Sets []Itemset
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(items []uint32, support uint64) error {
+	cp := make([]uint32, len(items))
+	copy(cp, items)
+	s.Sets = append(s.Sets, Itemset{Items: cp, Support: support})
+	return nil
+}
+
+// WriterSink streams itemsets in the FIMI output convention:
+// "i1 i2 ... ik (support)".
+type WriterSink struct {
+	bw *bufio.Writer
+}
+
+// NewWriterSink wraps w.
+func NewWriterSink(w io.Writer) *WriterSink {
+	return &WriterSink{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink.
+func (s *WriterSink) Emit(items []uint32, support uint64) error {
+	var scratch [12]byte
+	for i, it := range items {
+		if i > 0 {
+			if err := s.bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := s.bw.Write(strconv.AppendUint(scratch[:0], uint64(it), 10)); err != nil {
+			return err
+		}
+	}
+	if _, err := s.bw.WriteString(" ("); err != nil {
+		return err
+	}
+	if _, err := s.bw.Write(strconv.AppendUint(scratch[:0], support, 10)); err != nil {
+		return err
+	}
+	_, err := s.bw.WriteString(")\n")
+	return err
+}
+
+// Flush flushes buffered output.
+func (s *WriterSink) Flush() error { return s.bw.Flush() }
+
+// MaxLenSink emits into an inner sink but drops itemsets longer than
+// Max; useful to bound explosion in stress tests.
+type MaxLenSink struct {
+	Inner Sink
+	Max   int
+}
+
+// Emit implements Sink.
+func (s *MaxLenSink) Emit(items []uint32, support uint64) error {
+	if len(items) > s.Max {
+		return nil
+	}
+	return s.Inner.Emit(items, support)
+}
+
+// Canonicalize sorts itemsets by length, then lexicographically, for
+// order-independent comparison of miner outputs.
+func Canonicalize(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i].Items, sets[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// Diff compares two canonicalized result sets and returns a human-
+// readable description of the first few discrepancies, or "" if equal.
+func Diff(name1 string, a []Itemset, name2 string, b []Itemset) string {
+	key := func(s Itemset) string {
+		return fmt.Sprintf("%v", s.Items)
+	}
+	ma := make(map[string]uint64, len(a))
+	for _, s := range a {
+		ma[key(s)] = s.Support
+	}
+	mb := make(map[string]uint64, len(b))
+	for _, s := range b {
+		mb[key(s)] = s.Support
+	}
+	var out string
+	n := 0
+	add := func(format string, args ...any) {
+		if n < 10 {
+			out += fmt.Sprintf(format, args...)
+		}
+		n++
+	}
+	for k, sup := range ma {
+		if sup2, ok := mb[k]; !ok {
+			add("itemset %s found by %s (support %d) missing from %s\n", k, name1, sup, name2)
+		} else if sup2 != sup {
+			add("itemset %s: %s support %d, %s support %d\n", k, name1, sup, name2, sup2)
+		}
+	}
+	for k, sup := range mb {
+		if _, ok := ma[k]; !ok {
+			add("itemset %s found by %s (support %d) missing from %s\n", k, name2, sup, name1)
+		}
+	}
+	if n > 10 {
+		out += fmt.Sprintf("... and %d more discrepancies\n", n-10)
+	}
+	return out
+}
+
+// BruteForce is a reference miner that enumerates every subset of the
+// frequent items and counts its support by scanning the database. It is
+// exponential in the number of frequent items and exists only to
+// validate the real miners on small inputs.
+type BruteForce struct {
+	// MaxItems guards against accidental exponential blowup; mining
+	// fails if the number of frequent items exceeds it. 0 means 20.
+	MaxItems int
+}
+
+// Name implements Miner.
+func (BruteForce) Name() string { return "bruteforce" }
+
+// Mine implements Miner.
+func (m BruteForce) Mine(src dataset.Source, minSupport uint64, sink Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	limit := m.MaxItems
+	if limit == 0 {
+		limit = 20
+	}
+	if n > limit {
+		return fmt.Errorf("bruteforce: %d frequent items exceeds limit %d", n, limit)
+	}
+	if n == 0 {
+		return nil
+	}
+	// support[mask] counts transactions whose frequent-item projection
+	// is a superset of mask. First accumulate exact projection counts,
+	// then do a subset-sum (SOS) transform.
+	support := make([]uint64, 1<<uint(n))
+	var buf []uint32
+	err = src.Scan(func(tx []uint32) error {
+		buf = rec.Encode(tx, buf[:0])
+		var mask uint32
+		for _, rk := range buf {
+			mask |= 1 << rk
+		}
+		support[mask]++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Sum over supersets: for each bit, fold counts of sets containing
+	// the bit into the corresponding set without it.
+	for b := 0; b < n; b++ {
+		bit := uint32(1) << b
+		for mask := range support {
+			if uint32(mask)&bit == 0 {
+				support[mask] += support[uint32(mask)|bit]
+			}
+		}
+	}
+	items := make([]uint32, 0, n)
+	for mask := 1; mask < len(support); mask++ {
+		if support[mask] < minSupport {
+			continue
+		}
+		items = items[:0]
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				items = append(items, uint32(b))
+			}
+		}
+		dec := rec.DecodeSet(items)
+		if err := sink.Emit(dec, support[mask]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run mines src with m and returns the canonicalized materialized
+// result set. Test helper.
+func Run(m Miner, src dataset.Source, minSupport uint64) ([]Itemset, error) {
+	var sink CollectSink
+	if err := m.Mine(src, minSupport, &sink); err != nil {
+		return nil, err
+	}
+	Canonicalize(sink.Sets)
+	return sink.Sets, nil
+}

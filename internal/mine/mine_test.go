@@ -1,0 +1,212 @@
+package mine
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+)
+
+// tinyDB is the worked example shape used across packages: supports are
+// easy to verify by hand.
+var tinyDB = dataset.Slice{
+	{1, 2, 3},
+	{1, 2},
+	{1, 3},
+	{2, 3},
+	{1, 2, 3, 4},
+	{4},
+}
+
+func TestBruteForceTiny(t *testing.T) {
+	sets, err := Run(BruteForce{}, tinyDB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Itemset{
+		{Items: []uint32{1}, Support: 4},
+		{Items: []uint32{2}, Support: 4},
+		{Items: []uint32{3}, Support: 4},
+		{Items: []uint32{4}, Support: 2},
+		{Items: []uint32{1, 2}, Support: 3},
+		{Items: []uint32{1, 3}, Support: 3},
+		{Items: []uint32{2, 3}, Support: 3},
+		{Items: []uint32{1, 2, 3}, Support: 2},
+	}
+	Canonicalize(want)
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("BruteForce = %v\nwant %v", sets, want)
+	}
+}
+
+func TestBruteForceHighSupportNoResults(t *testing.T) {
+	sets, err := Run(BruteForce{}, tinyDB, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 0 {
+		t.Errorf("got %d itemsets, want 0", len(sets))
+	}
+}
+
+func TestBruteForceItemLimit(t *testing.T) {
+	tx := make([]uint32, 21)
+	for i := range tx {
+		tx[i] = uint32(i)
+	}
+	db := dataset.Slice{tx, tx}
+	if err := (BruteForce{}).Mine(db, 1, &CountSink{}); err == nil {
+		t.Error("BruteForce accepted 21 frequent items without a limit override")
+	}
+	if err := (BruteForce{MaxItems: 21}).Mine(db, 1, &CountSink{}); err != nil {
+		t.Errorf("BruteForce with raised limit failed: %v", err)
+	}
+}
+
+func TestBruteForceDuplicateItemsInTransaction(t *testing.T) {
+	db := dataset.Slice{{1, 1, 2}, {1, 2, 2}, {1}}
+	sets, err := Run(BruteForce{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Itemset{
+		{Items: []uint32{1}, Support: 3},
+		{Items: []uint32{2}, Support: 2},
+		{Items: []uint32{1, 2}, Support: 2},
+	}
+	Canonicalize(want)
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("got %v, want %v", sets, want)
+	}
+}
+
+func TestCountSink(t *testing.T) {
+	var s CountSink
+	_ = s.Emit([]uint32{1}, 5)
+	_ = s.Emit([]uint32{1, 2}, 3)
+	_ = s.Emit([]uint32{2}, 4)
+	if s.N != 3 || s.MaxLen != 2 {
+		t.Errorf("N=%d MaxLen=%d", s.N, s.MaxLen)
+	}
+	if s.ByLen[1] != 2 || s.ByLen[2] != 1 {
+		t.Errorf("ByLen = %v", s.ByLen)
+	}
+}
+
+func TestCollectSinkCopies(t *testing.T) {
+	var s CollectSink
+	buf := []uint32{1, 2}
+	_ = s.Emit(buf, 7)
+	buf[0] = 99
+	if s.Sets[0].Items[0] != 1 {
+		t.Error("CollectSink retained caller's buffer instead of copying")
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewWriterSink(&buf)
+	_ = s.Emit([]uint32{3, 5, 9}, 42)
+	_ = s.Emit([]uint32{7}, 3)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "3 5 9 (42)\n7 (3)\n"
+	if buf.String() != want {
+		t.Errorf("output %q, want %q", buf.String(), want)
+	}
+}
+
+func TestMaxLenSink(t *testing.T) {
+	var inner CountSink
+	s := MaxLenSink{Inner: &inner, Max: 2}
+	_ = s.Emit([]uint32{1}, 1)
+	_ = s.Emit([]uint32{1, 2}, 1)
+	_ = s.Emit([]uint32{1, 2, 3}, 1)
+	if inner.N != 2 {
+		t.Errorf("inner saw %d itemsets, want 2", inner.N)
+	}
+}
+
+func TestCanonicalizeOrder(t *testing.T) {
+	sets := []Itemset{
+		{Items: []uint32{2, 3}},
+		{Items: []uint32{1}},
+		{Items: []uint32{1, 2}},
+		{Items: []uint32{3}},
+	}
+	Canonicalize(sets)
+	want := [][]uint32{{1}, {3}, {1, 2}, {2, 3}}
+	for i := range want {
+		if !reflect.DeepEqual(sets[i].Items, want[i]) {
+			t.Fatalf("position %d = %v, want %v", i, sets[i].Items, want[i])
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := []Itemset{{Items: []uint32{1}, Support: 3}, {Items: []uint32{2}, Support: 2}}
+	b := []Itemset{{Items: []uint32{1}, Support: 3}, {Items: []uint32{2}, Support: 5}}
+	if d := Diff("a", a, "a2", a); d != "" {
+		t.Errorf("Diff of identical sets = %q", d)
+	}
+	d := Diff("a", a, "b", b)
+	if !strings.Contains(d, "support") {
+		t.Errorf("Diff missed support mismatch: %q", d)
+	}
+	c := []Itemset{{Items: []uint32{1}, Support: 3}}
+	if d := Diff("a", a, "c", c); !strings.Contains(d, "missing") {
+		t.Errorf("Diff missed absent itemset: %q", d)
+	}
+}
+
+// Property: brute-force downward closure — every subset of a frequent
+// itemset is frequent with support at least as large.
+func TestBruteForceDownwardClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		db := make(dataset.Slice, 30)
+		for i := range db {
+			tx := make([]uint32, 1+rng.Intn(6))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(8))
+			}
+			db[i] = tx
+		}
+		sets, err := Run(BruteForce{}, db, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := make(map[string]uint64)
+		key := func(items []uint32) string {
+			var b strings.Builder
+			for _, it := range items {
+				b.WriteString(string(rune(it)))
+			}
+			return b.String()
+		}
+		for _, s := range sets {
+			sup[key(s.Items)] = s.Support
+		}
+		for _, s := range sets {
+			if len(s.Items) < 2 {
+				continue
+			}
+			for drop := range s.Items {
+				sub := make([]uint32, 0, len(s.Items)-1)
+				sub = append(sub, s.Items[:drop]...)
+				sub = append(sub, s.Items[drop+1:]...)
+				parent, ok := sup[key(sub)]
+				if !ok {
+					t.Fatalf("subset %v of frequent %v not frequent", sub, s.Items)
+				}
+				if parent < s.Support {
+					t.Fatalf("subset %v support %d < superset %v support %d", sub, parent, s.Items, s.Support)
+				}
+			}
+		}
+	}
+}

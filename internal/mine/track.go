@@ -1,0 +1,64 @@
+package mine
+
+// MemTracker observes the modeled memory footprint of a miner's data
+// structures as they are allocated and released. Implementations
+// compute peak/average consumption (Figs 7(b), 7(d), 8(b)) and feed the
+// virtual-memory cost model that reproduces the paper's out-of-core
+// degradation (internal/vm).
+//
+// Sizes are the *modeled* physical footprints of the paper's C layouts
+// (e.g. 40 bytes per baseline FP-tree node, the exact compressed byte
+// counts for CFP structures), not Go heap sizes; this keeps the
+// reproduction comparable to the paper's measurements and independent
+// of Go runtime overhead.
+type MemTracker interface {
+	// Alloc records that n bytes of structure memory came into use.
+	Alloc(n int64)
+	// Free records that n bytes were released.
+	Free(n int64)
+}
+
+// NullTracker discards all observations.
+type NullTracker struct{}
+
+// Alloc implements MemTracker.
+func (NullTracker) Alloc(int64) {}
+
+// Free implements MemTracker.
+func (NullTracker) Free(int64) {}
+
+// PeakTracker records current, peak, and a time-averaged (per
+// observation) footprint.
+type PeakTracker struct {
+	Cur, Peak int64
+	samples   int64
+	sum       int64
+}
+
+// Alloc implements MemTracker.
+func (t *PeakTracker) Alloc(n int64) {
+	t.Cur += n
+	if t.Cur > t.Peak {
+		t.Peak = t.Cur
+	}
+	t.sample()
+}
+
+// Free implements MemTracker.
+func (t *PeakTracker) Free(n int64) {
+	t.Cur -= n
+	t.sample()
+}
+
+func (t *PeakTracker) sample() {
+	t.samples++
+	t.sum += t.Cur
+}
+
+// Avg returns the average footprint across observations.
+func (t *PeakTracker) Avg() int64 {
+	if t.samples == 0 {
+		return 0
+	}
+	return t.sum / t.samples
+}

@@ -1,0 +1,294 @@
+// Package pfp implements partitioned CFP-growth in the style of PFP
+// (Li et al., "PFP: Parallel FP-Growth for Query Recommendation",
+// RecSys 2008), the approach the paper cites in related-work class (4)
+// (§5). The frequent items are divided into groups; the database is
+// re-sharded into "group-dependent transactions" — for each group, the
+// longest transaction prefix ending at one of the group's items — and
+// each shard is mined independently. An itemset's support is exact in
+// the shard of its least frequent item's group, so each shard emits
+// only its own group's itemsets and the union is exact and duplicate
+// free.
+//
+// Shards are spilled to temporary files in a delta-varint binary
+// format, so only one shard's CFP structures are in memory at a time
+// (per worker): the scheme doubles as the out-of-core processing of
+// related-work class (3), with sequential shard IO instead of random
+// page faults.
+package pfp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/core"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/encoding"
+	"cfpgrowth/internal/mine"
+)
+
+// Miner is the partitioned miner.
+type Miner struct {
+	// Groups is the number of item groups / shards (default 8).
+	Groups int
+	// Workers is the number of shards mined concurrently (default 1,
+	// the pure out-of-core configuration).
+	Workers int
+	// TempDir receives the shard spill files (default os.TempDir()).
+	TempDir string
+	// Config tunes the per-shard CFP-trees.
+	Config core.Config
+	// Track observes modeled memory (synchronized internally).
+	Track mine.MemTracker
+}
+
+// Name implements mine.Miner.
+func (Miner) Name() string { return "pfp" }
+
+// Mine implements mine.Miner. Emission order is nondeterministic when
+// Workers > 1.
+func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		return err
+	}
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	if n == 0 {
+		return nil
+	}
+	groups := m.Groups
+	if groups <= 0 {
+		groups = 8
+	}
+	if groups > n {
+		groups = n
+	}
+	dir, err := os.MkdirTemp(m.TempDir, "pfp-shards-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Shard pass: write group-dependent transactions.
+	shards := make([]*shardWriter, groups)
+	for g := range shards {
+		sw, err := newShardWriter(filepath.Join(dir, fmt.Sprintf("shard-%04d.bin", g)))
+		if err != nil {
+			return err
+		}
+		shards[g] = sw
+	}
+	closeAll := func() {
+		for _, sw := range shards {
+			if sw != nil {
+				sw.close()
+			}
+		}
+	}
+	var buf []uint32
+	err = src.Scan(func(tx []dataset.Item) error {
+		buf = rec.Encode(tx, buf[:0])
+		// Walk from the least frequent item; the first time a group is
+		// seen, it receives the prefix ending there.
+		seen := uint64(0) // bitset over groups (groups ≤ 64 fast path)
+		var seenMap map[int]bool
+		if groups > 64 {
+			seenMap = make(map[int]bool, 8)
+		}
+		for i := len(buf) - 1; i >= 0; i-- {
+			g := int(buf[i]) % groups
+			if seenMap != nil {
+				if seenMap[g] {
+					continue
+				}
+				seenMap[g] = true
+			} else {
+				if seen&(1<<g) != 0 {
+					continue
+				}
+				seen |= 1 << g
+			}
+			if err := shards[g].write(buf[:i+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		closeAll()
+		return err
+	}
+	for _, sw := range shards {
+		if err := sw.flush(); err != nil {
+			closeAll()
+			return err
+		}
+	}
+	defer closeAll()
+
+	// Mining pass: per shard, build a CFP-tree over the global rank
+	// space, convert, and mine only the group's ranks.
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
+	}
+	var track mine.MemTracker = mine.NullTracker{}
+	if m.Track != nil {
+		track = &mine.SyncTracker{Inner: m.Track}
+	}
+	workers := m.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	ssink := sink
+	if workers > 1 {
+		ssink = &mine.SyncSink{Inner: sink}
+	}
+	jobs := make(chan int, groups)
+	for g := 0; g < groups; g++ {
+		jobs <- g
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := arena.New()
+			for g := range jobs {
+				if err := m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, a); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// mineShard reads one shard file, builds its CFP structures, and mines
+// the group's ranks.
+func (m Miner) mineShard(path string, group, groups, numItems int, itemName []uint32, itemCount []uint64, minSup uint64, sink mine.Sink, track mine.MemTracker, a *arena.Arena) error {
+	a.Reset()
+	tree := core.NewTree(a, m.Config, itemName, itemCount)
+	if err := scanShard(path, func(tx []uint32) error {
+		tree.Insert(tx, 1)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if tree.NumNodes() == 0 {
+		return nil
+	}
+	track.Alloc(tree.Extent())
+	arr := core.Convert(tree)
+	track.Free(tree.Extent())
+	a.Reset()
+	track.Alloc(arr.Bytes())
+	defer track.Free(arr.Bytes())
+	var ranks []uint32
+	for rk := numItems - 1; rk >= 0; rk-- {
+		if rk%groups == group {
+			ranks = append(ranks, uint32(rk))
+		}
+	}
+	return core.MineArrayItems(arr, m.Config, minSup, sink, track, 0, ranks)
+}
+
+// shardWriter spills rank-space transactions: per transaction a varint
+// length followed by varint deltas of the ascending ranks.
+type shardWriter struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+}
+
+func newShardWriter(path string) (*shardWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &shardWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *shardWriter) write(ranks []uint32) error {
+	var scratch [encoding.MaxVarintLen64]byte
+	n := encoding.PutUvarint(scratch[:], uint64(len(ranks)))
+	if _, err := s.bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	prev := int64(-1)
+	for _, rk := range ranks {
+		n := encoding.PutUvarint(scratch[:], uint64(int64(rk)-prev))
+		if _, err := s.bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		prev = int64(rk)
+	}
+	return nil
+}
+
+func (s *shardWriter) flush() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *shardWriter) close() {
+	_ = s.f.Close()
+}
+
+// scanShard streams a shard file's transactions.
+func scanShard(path string, fn func(tx []uint32) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var tx []uint32
+	for {
+		l, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pfp: corrupt shard %s: %v", path, err)
+		}
+		tx = tx[:0]
+		prev := int64(-1)
+		for i := uint64(0); i < l; i++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("pfp: corrupt shard %s: %v", path, err)
+			}
+			prev += int64(d)
+			tx = append(tx, uint32(prev))
+		}
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package pfp
+
+import (
+	"math/rand"
+	"testing"
+
+	"os"
+
+	"cfpgrowth/internal/core"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+)
+
+func TestPFPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 8; trial++ {
+		db := make(dataset.Slice, 30+rng.Intn(80))
+		nItems := 5 + rng.Intn(15)
+		for i := range db {
+			tx := make([]uint32, 1+rng.Intn(nItems))
+			for j := range tx {
+				tx[j] = uint32(1 + rng.Intn(nItems))
+			}
+			db[i] = tx
+		}
+		for _, groups := range []int{1, 3, 8} {
+			for _, workers := range []int{1, 3} {
+				for _, minSup := range []uint64{1, 3} {
+					want, err := mine.Run(core.Growth{}, db, minSup)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := mine.Run(Miner{Groups: groups, Workers: workers, TempDir: t.TempDir()}, db, minSup)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := mine.Diff("pfp", got, "serial", want); d != "" {
+						t.Fatalf("trial %d groups %d workers %d minSup %d:\n%s",
+							trial, groups, workers, minSup, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPFPEmptyAndDegenerate(t *testing.T) {
+	var sink mine.CountSink
+	if err := (Miner{TempDir: t.TempDir()}).Mine(dataset.Slice{}, 1, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if sink.N != 0 {
+		t.Error("emitted from empty database")
+	}
+	got, err := mine.Run(Miner{Groups: 4, TempDir: t.TempDir()}, dataset.Slice{{9}, {9}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Support != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPFPMoreGroupsThanItems(t *testing.T) {
+	db := dataset.Slice{{1, 2}, {1, 2}, {2}}
+	got, err := mine.Run(Miner{Groups: 64, TempDir: t.TempDir()}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mine.Run(core.Growth{}, db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mine.Diff("pfp", got, "serial", want); d != "" {
+		t.Errorf("results differ:\n%s", d)
+	}
+}
+
+func TestPFPShardsCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	db := dataset.Slice{{1, 2, 3}, {2, 3}, {1, 3}}
+	if err := (Miner{Groups: 2, TempDir: dir}).Mine(db, 1, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readDirNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("shard spill not cleaned up: %v", entries)
+	}
+}
+
+func TestPFPMemoryBelowSerialPeak(t *testing.T) {
+	// With many groups, each shard tree is a fraction of the full
+	// tree; the peak (workers=1) must be below the serial build peak.
+	rng := rand.New(rand.NewSource(4))
+	db := make(dataset.Slice, 400)
+	for i := range db {
+		tx := make([]uint32, 4+rng.Intn(12))
+		for j := range tx {
+			tx[j] = uint32(rng.Intn(64))
+		}
+		db[i] = tx
+	}
+	var serial, sharded mine.PeakTracker
+	if err := (core.Growth{Track: &serial}).Mine(db, 8, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Miner{Groups: 16, Workers: 1, Track: &sharded, TempDir: t.TempDir()}).Mine(db, 8, &mine.CountSink{}); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Peak >= serial.Peak {
+		t.Errorf("sharded peak %d not below serial peak %d", sharded.Peak, serial.Peak)
+	}
+	t.Logf("serial peak %d B, 16-shard peak %d B", serial.Peak, sharded.Peak)
+}
+
+func readDirNames(dir string) ([]string, error) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.Readdirnames(-1)
+}

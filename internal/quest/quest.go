@@ -1,0 +1,216 @@
+// Package quest re-implements the IBM Quest synthetic dataset
+// generator (Agrawal–Srikant, VLDB'94), which produced the paper's
+// Quest1 and Quest2 workloads (Table 3). The original binary is
+// closed-source; this implementation follows the published process:
+//
+//  1. A pool of |L| "potentially frequent" itemsets is drawn. Pattern
+//     sizes are Poisson-distributed around the mean pattern length;
+//     successive patterns reuse an exponentially-distributed fraction
+//     of the previous pattern's items (correlation), the rest are
+//     picked at random. Each pattern carries an exponentially
+//     distributed weight (normalized to a probability) and a
+//     corruption level drawn from N(0.5, 0.1²).
+//  2. Each transaction has a Poisson-distributed size and is filled by
+//     sampling patterns by weight; a corrupted subset of the pattern's
+//     items is inserted. If a pattern overflows the remaining space it
+//     is kept anyway in half of the cases and dropped otherwise.
+//
+// The generator is deterministic for a fixed Config including Seed.
+package quest
+
+import (
+	"math"
+	"math/rand"
+
+	"cfpgrowth/internal/dataset"
+)
+
+// Config parameterizes the generator, mirroring the knobs of the
+// original tool (|D|, |T|, N, |L|, |I|).
+type Config struct {
+	NumTx          int     // |D|: number of transactions
+	AvgTxLen       float64 // |T|: average transaction length
+	NumItems       int     // N: number of distinct items
+	NumPatterns    int     // |L|: size of the pattern pool (default 2000)
+	AvgPatternLen  float64 // |I|: average pattern length (default 4)
+	Correlation    float64 // fraction of items reused between consecutive patterns (default 0.5)
+	CorruptionMean float64 // mean corruption level (default 0.5)
+	Seed           int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumPatterns == 0 {
+		c.NumPatterns = 2000
+	}
+	if c.AvgPatternLen == 0 {
+		c.AvgPatternLen = 4
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.5
+	}
+	if c.CorruptionMean == 0 {
+		c.CorruptionMean = 0.5
+	}
+	return c
+}
+
+// Quest1 and Quest2 return laptop-scale analogues of the paper's
+// Table 3 datasets: Quest2 has twice the transactions of Quest1 with
+// the same item universe and average cardinality (25M/50M transactions,
+// 100 items average, 20k distinct items in the paper; scaled down by
+// `scale`, e.g. scale=1000 gives 25k/50k transactions).
+func Quest1(scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return Config{
+		NumTx:    25_000_000 / scale,
+		AvgTxLen: 100,
+		NumItems: 20_000,
+		Seed:     1,
+	}
+}
+
+// Quest2 is Quest1 with twice the transactions (see Quest1).
+func Quest2(scale int) Config {
+	c := Quest1(scale)
+	c.NumTx *= 2
+	c.Seed = 2
+	return c
+}
+
+// pattern is one potentially frequent itemset.
+type pattern struct {
+	items      []uint32
+	weight     float64
+	corruption float64
+}
+
+// Generate produces the dataset in memory.
+func Generate(cfg Config) dataset.Slice {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pats := makePatterns(cfg, rng)
+	cum := make([]float64, len(pats))
+	var total float64
+	for i, p := range pats {
+		total += p.weight
+		cum[i] = total
+	}
+	db := make(dataset.Slice, cfg.NumTx)
+	seen := make(map[uint32]struct{}, int(cfg.AvgTxLen)*2)
+	for i := range db {
+		size := poisson(rng, cfg.AvgTxLen-1) + 1
+		tx := make([]uint32, 0, size)
+		clear(seen)
+		for len(tx) < size {
+			p := pats[pickWeighted(rng, cum, total)]
+			// Corrupt: drop items while a coin toss stays below the
+			// pattern's corruption level.
+			kept := p.items
+			n := len(kept)
+			for n > 0 && rng.Float64() < p.corruption {
+				n--
+			}
+			if n == 0 {
+				continue
+			}
+			if len(tx)+n > size {
+				// Oversized pattern: keep it half the time.
+				if rng.Intn(2) == 0 {
+					break
+				}
+			}
+			for _, it := range kept[:n] {
+				if _, dup := seen[it]; !dup {
+					seen[it] = struct{}{}
+					tx = append(tx, it)
+				}
+			}
+		}
+		if len(tx) == 0 {
+			tx = append(tx, uint32(rng.Intn(cfg.NumItems)))
+		}
+		db[i] = tx
+	}
+	return db
+}
+
+func makePatterns(cfg Config, rng *rand.Rand) []pattern {
+	pats := make([]pattern, cfg.NumPatterns)
+	var prev []uint32
+	for i := range pats {
+		size := poisson(rng, cfg.AvgPatternLen-1) + 1
+		items := make([]uint32, 0, size)
+		used := make(map[uint32]struct{}, size)
+		// Reuse an exponentially distributed fraction of the previous
+		// pattern.
+		if len(prev) > 0 {
+			frac := math.Min(1, rng.ExpFloat64()*cfg.Correlation)
+			reuse := int(frac * float64(size))
+			for k := 0; k < reuse && k < len(prev); k++ {
+				it := prev[rng.Intn(len(prev))]
+				if _, dup := used[it]; !dup {
+					used[it] = struct{}{}
+					items = append(items, it)
+				}
+			}
+		}
+		for len(items) < size {
+			it := uint32(rng.Intn(cfg.NumItems))
+			if _, dup := used[it]; !dup {
+				used[it] = struct{}{}
+				items = append(items, it)
+			}
+		}
+		corr := rng.NormFloat64()*0.1 + cfg.CorruptionMean
+		corr = math.Max(0, math.Min(1, corr))
+		pats[i] = pattern{
+			items:      items,
+			weight:     rng.ExpFloat64(),
+			corruption: corr,
+		}
+		prev = items
+	}
+	return pats
+}
+
+// poisson draws from a Poisson distribution with the given mean
+// (Knuth's method for small means, normal approximation above 30).
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := rng.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// pickWeighted samples an index proportionally to the weights whose
+// cumulative sums are cum.
+func pickWeighted(rng *rand.Rand, cum []float64, total float64) int {
+	x := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,153 @@
+package quest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{NumTx: 2000, AvgTxLen: 12, NumItems: 500, Seed: 42}
+	db := Generate(cfg)
+	n, distinct, avg, err := dataset.Validate(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Errorf("NumTx = %d, want 2000", n)
+	}
+	if distinct < 100 || distinct > 500 {
+		t.Errorf("distinct items = %d, expected a substantial share of 500", distinct)
+	}
+	if avg < 6 || avg > 24 {
+		t.Errorf("avg length = %.1f, want near 12", avg)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumTx: 100, AvgTxLen: 8, NumItems: 200, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("tx %d differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("tx %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Config{NumTx: 50, AvgTxLen: 8, NumItems: 200, Seed: 1})
+	b := Generate(Config{NumTx: 50, AvgTxLen: 8, NumItems: 200, Seed: 2})
+	same := true
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Extremely unlikely all lengths agree; a weak but effective
+		// check that the seed is honored.
+		t.Log("warning: seeds produced identical length profiles")
+	}
+}
+
+func TestGenerateHasPatternStructure(t *testing.T) {
+	// Quest data must contain genuinely frequent itemsets beyond
+	// singletons: pairs from patterns co-occur far more often than
+	// independence would predict.
+	db := Generate(Config{NumTx: 3000, AvgTxLen: 10, NumItems: 1000, NumPatterns: 50, Seed: 3})
+	counts, err := dataset.CountItems(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the two most frequent items and measure their joint support.
+	var top1, top2 uint32
+	var c1, c2 uint64
+	for it, c := range counts.Support {
+		if c > c1 {
+			top2, c2 = top1, c1
+			top1, c1 = it, c
+		} else if c > c2 {
+			top2, c2 = it, c
+		}
+	}
+	joint := 0
+	for _, tx := range db {
+		h1, h2 := false, false
+		for _, it := range tx {
+			if it == top1 {
+				h1 = true
+			}
+			if it == top2 {
+				h2 = true
+			}
+		}
+		if h1 && h2 {
+			joint++
+		}
+	}
+	expIndep := float64(c1) * float64(c2) / float64(len(db))
+	if float64(joint) < expIndep*1.05 {
+		t.Logf("joint=%d indep=%.0f: weak correlation (can happen for the top pair)", joint, expIndep)
+	}
+	if c1 < 30 {
+		t.Errorf("most frequent item support %d, expected pattern-driven popularity", c1)
+	}
+}
+
+func TestQuest1Quest2Relationship(t *testing.T) {
+	q1 := Quest1(1000)
+	q2 := Quest2(1000)
+	if q2.NumTx != 2*q1.NumTx {
+		t.Errorf("Quest2 tx = %d, want 2x Quest1's %d", q2.NumTx, q1.NumTx)
+	}
+	if q2.NumItems != q1.NumItems || q2.AvgTxLen != q1.AvgTxLen {
+		t.Error("Quest2 must share Quest1's item universe and cardinality")
+	}
+	if q1.NumTx != 25_000 {
+		t.Errorf("Quest1(1000) tx = %d, want 25000", q1.NumTx)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0.5, 3, 10, 50, 99} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.1+0.3 {
+			t.Errorf("poisson(%v) sample mean %.2f", mean, got)
+		}
+	}
+}
+
+func TestPickWeightedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cum := []float64{1, 3, 6}
+	seen := map[int]int{}
+	for i := 0; i < 6000; i++ {
+		idx := pickWeighted(rng, cum, 6)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx]++
+	}
+	// Expected shares 1/6, 2/6, 3/6.
+	if seen[2] < seen[1] || seen[1] < seen[0] {
+		t.Errorf("weighted sampling shares wrong: %v", seen)
+	}
+}

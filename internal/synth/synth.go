@@ -1,0 +1,159 @@
+// Package synth generates synthetic transaction databases whose shape
+// matches the published characteristics of the FIMI repository's
+// real-world datasets (transactions, distinct items, average length,
+// frequency skew, density). The real files are not redistributable;
+// the compression behavior the paper studies — zero-byte distributions,
+// chain formation, per-node sizes — is a function of exactly these
+// shape parameters, so the synthetic stand-ins preserve the qualitative
+// Table 1/2 and Figure 6 results (see DESIGN.md §2).
+package synth
+
+import (
+	"math/rand"
+	"sort"
+
+	"cfpgrowth/internal/dataset"
+)
+
+// Profile describes a dataset family.
+type Profile struct {
+	Name string
+	// NumTx, NumItems, AvgLen are the target shape at Scale 1.
+	NumTx    int
+	NumItems int
+	AvgLen   float64
+	// Skew is the Zipf exponent of the item popularity distribution
+	// (> 1; higher = heavier head). Dense profiles ignore it.
+	Skew float64
+	// Dense marks census-style data (connect, accidents, chess,
+	// mushroom): fixed-length transactions of attribute=value items
+	// with small per-attribute domains, yielding highly correlated,
+	// deeply shared prefixes.
+	Dense bool
+	// Domain is the per-attribute domain size for dense profiles.
+	Domain int
+	Seed   int64
+}
+
+// Profiles lists the FIMI-like families used in the paper's §4.2
+// (sizes follow the published dataset statistics).
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "retail", NumTx: 88_162, NumItems: 16_470, AvgLen: 10.3, Skew: 1.25, Seed: 11},
+		{Name: "kosarak", NumTx: 990_002, NumItems: 41_270, AvgLen: 8.1, Skew: 1.15, Seed: 12},
+		{Name: "connect", NumTx: 67_557, NumItems: 129, AvgLen: 43, Dense: true, Domain: 3, Seed: 13},
+		{Name: "accidents", NumTx: 340_183, NumItems: 468, AvgLen: 33.8, Dense: true, Domain: 14, Seed: 14},
+		{Name: "webdocs", NumTx: 1_692_082, NumItems: 5_267_656, AvgLen: 177, Skew: 1.35, Seed: 15},
+		{Name: "chess", NumTx: 3_196, NumItems: 75, AvgLen: 37, Dense: true, Domain: 2, Seed: 16},
+		{Name: "mushroom", NumTx: 8_124, NumItems: 119, AvgLen: 23, Dense: true, Domain: 5, Seed: 17},
+	}
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Generate produces the dataset at the given scale divisor: scale 100
+// yields 1/100 of the transactions (items and lengths unchanged, so
+// per-transaction structure is preserved). scale < 1 is treated as 1.
+func (p Profile) Generate(scale int) dataset.Slice {
+	if scale < 1 {
+		scale = 1
+	}
+	numTx := p.NumTx / scale
+	if numTx < 1 {
+		numTx = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.Dense {
+		return p.generateDense(rng, numTx)
+	}
+	return p.generateSparse(rng, numTx)
+}
+
+// generateSparse models market-basket/clickstream data: item
+// popularity is Zipf-distributed; transaction lengths follow a
+// geometric-ish distribution around the average.
+func (p Profile) generateSparse(rng *rand.Rand, numTx int) dataset.Slice {
+	zipf := rand.NewZipf(rng, p.Skew, 1, uint64(p.NumItems-1))
+	db := make(dataset.Slice, numTx)
+	seen := make(map[uint32]struct{}, int(p.AvgLen)*2)
+	for i := range db {
+		// Length: 1 + geometric with the right mean; cap for safety.
+		l := 1
+		for float64(l) < p.AvgLen*8 && rng.Float64() < 1-1/p.AvgLen {
+			l++
+		}
+		tx := make([]uint32, 0, l)
+		clear(seen)
+		for attempts := 0; len(tx) < l && attempts < 4*l; attempts++ {
+			it := uint32(zipf.Uint64())
+			if _, dup := seen[it]; !dup {
+				seen[it] = struct{}{}
+				tx = append(tx, it)
+			}
+		}
+		sort.Slice(tx, func(a, b int) bool { return tx[a] < tx[b] })
+		db[i] = tx
+	}
+	return db
+}
+
+// generateDense models census-style data: each transaction assigns a
+// value to (almost) every attribute; per-attribute value popularity is
+// skewed, so a few value combinations dominate and prefixes share
+// deeply — the regime where connect/accidents-like datasets compress
+// best.
+func (p Profile) generateDense(rng *rand.Rand, numTx int) dataset.Slice {
+	numAttrs := int(p.AvgLen + 0.5)
+	domain := p.Domain
+	if domain < 2 {
+		domain = 2
+	}
+	// Per-attribute skewed value preference: value 0 with high
+	// probability, remaining values share the rest.
+	db := make(dataset.Slice, numTx)
+	for i := range db {
+		tx := make([]uint32, 0, numAttrs)
+		for a := 0; a < numAttrs; a++ {
+			base := uint32(a * domain)
+			var v uint32
+			r := rng.Float64()
+			switch {
+			case r < 0.72:
+				v = 0
+			case r < 0.92:
+				v = uint32(1 + rng.Intn(max(1, domain-1)))
+			default:
+				v = uint32(rng.Intn(domain))
+			}
+			item := base + v
+			if int(item) >= p.NumItems {
+				item = uint32(p.NumItems - 1)
+			}
+			// Occasionally skip an attribute (missing value).
+			if rng.Float64() < 0.02 {
+				continue
+			}
+			tx = append(tx, item)
+		}
+		if len(tx) == 0 {
+			tx = append(tx, 0)
+		}
+		db[i] = tx
+	}
+	return db
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

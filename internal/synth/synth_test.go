@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+)
+
+func TestProfilesShape(t *testing.T) {
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			// Scale down to something quick but structurally
+			// representative.
+			scale := p.NumTx / 2000
+			if scale < 1 {
+				scale = 1
+			}
+			db := p.Generate(scale)
+			n, distinct, avg, err := dataset.Validate(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < 1000 && p.NumTx >= 2000 {
+				t.Errorf("only %d transactions", n)
+			}
+			if avg < p.AvgLen*0.4 || avg > p.AvgLen*2.5 {
+				t.Errorf("avg length %.1f, profile target %.1f", avg, p.AvgLen)
+			}
+			if distinct > p.NumItems {
+				t.Errorf("distinct %d exceeds item universe %d", distinct, p.NumItems)
+			}
+			if p.Dense && distinct > 2*int(p.AvgLen)*p.Domain+2 {
+				t.Errorf("dense profile produced %d distinct items", distinct)
+			}
+		})
+	}
+}
+
+func TestSparseSkew(t *testing.T) {
+	p, ok := ByName("retail")
+	if !ok {
+		t.Fatal("retail profile missing")
+	}
+	db := p.Generate(40)
+	counts, err := dataset.CountItems(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-law: the most frequent item must dwarf the median.
+	var maxSup uint64
+	var sups []uint64
+	for _, c := range counts.Support {
+		sups = append(sups, c)
+		if c > maxSup {
+			maxSup = c
+		}
+	}
+	ones := 0
+	for _, s := range sups {
+		if s <= 2 {
+			ones++
+		}
+	}
+	if maxSup < 50 {
+		t.Errorf("max support %d, expected a heavy head", maxSup)
+	}
+	if float64(ones) < 0.3*float64(len(sups)) {
+		t.Errorf("only %d/%d rare items, expected a long tail", ones, len(sups))
+	}
+}
+
+func TestDenseCorrelation(t *testing.T) {
+	p, ok := ByName("connect")
+	if !ok {
+		t.Fatal("connect profile missing")
+	}
+	db := p.Generate(60)
+	counts, err := dataset.CountItems(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense census data: many items appear in >50% of transactions
+	// (the value-0 of each attribute).
+	hot := 0
+	for _, c := range counts.Support {
+		if c > counts.NumTx/2 {
+			hot++
+		}
+	}
+	if hot < 10 {
+		t.Errorf("%d items above 50%% support, expected dozens in connect-like data", hot)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("doesnotexist"); ok {
+		t.Error("ByName returned an unknown profile")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("retail")
+	a := p.Generate(100)
+	b := p.Generate(100)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("tx %d differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("tx %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestScaleReducesTransactionsOnly(t *testing.T) {
+	p, _ := ByName("mushroom")
+	small := p.Generate(8)
+	smaller := p.Generate(16)
+	if len(smaller) >= len(small) {
+		t.Errorf("scale 16 gave %d txs, scale 8 gave %d", len(smaller), len(small))
+	}
+	_, _, avgA, _ := dataset.Validate(small)
+	_, _, avgB, _ := dataset.Validate(smaller)
+	if avgA < avgB*0.7 || avgA > avgB*1.3 {
+		t.Errorf("scaling changed transaction shape: %.1f vs %.1f", avgA, avgB)
+	}
+}

@@ -1,0 +1,98 @@
+package vm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPenaltyZeroWithinBudget(t *testing.T) {
+	m := Default(1 << 30)
+	if p := m.Penalty(1<<30, 1<<32, Random); p != 0 {
+		t.Errorf("penalty %v at exactly budget, want 0", p)
+	}
+	if p := m.Penalty(1<<20, 1<<20, Sequential); p != 0 {
+		t.Errorf("penalty %v under budget, want 0", p)
+	}
+}
+
+func TestPenaltyMonotoneInPeak(t *testing.T) {
+	m := Default(1 << 20)
+	prev := time.Duration(0)
+	for _, peak := range []int64{1 << 20, 3 << 19, 1 << 21, 1 << 22, 1 << 24} {
+		p := m.Penalty(peak, 1<<22, Random)
+		if p < prev {
+			t.Errorf("penalty decreased at peak %d: %v < %v", peak, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestPenaltyRandomExceedsSequential(t *testing.T) {
+	m := Default(1 << 20)
+	r := m.Penalty(1<<22, 1<<22, Random)
+	s := m.Penalty(1<<22, 1<<22, Sequential)
+	if r <= s {
+		t.Errorf("random %v not above sequential %v", r, s)
+	}
+	// Orders of magnitude apart, matching disk seek vs stream.
+	if r < 100*s {
+		t.Errorf("random/sequential ratio %v/%v too small", r, s)
+	}
+}
+
+func TestPenaltyScalesWithTouched(t *testing.T) {
+	m := Default(1 << 20)
+	a := m.Penalty(1<<22, 1<<22, Sequential)
+	b := m.Penalty(1<<22, 1<<24, Sequential)
+	if b <= a {
+		t.Errorf("penalty did not grow with touched bytes: %v vs %v", a, b)
+	}
+}
+
+func TestPenaltyUnlimitedBudget(t *testing.T) {
+	m := Model{PhysicalBytes: 0}
+	if p := m.Penalty(1<<40, 1<<40, Random); p != 0 {
+		t.Errorf("no budget must mean no penalty, got %v", p)
+	}
+}
+
+func TestRegime(t *testing.T) {
+	m := Default(100)
+	cases := map[int64]int{50: 1, 100: 1, 150: 2, 200: 2, 201: 3, 1000: 3}
+	for peak, want := range cases {
+		if got := m.Regime(peak); got != want {
+			t.Errorf("Regime(%d) = %d, want %d", peak, got, want)
+		}
+	}
+}
+
+func TestTrackerRecordsTotals(t *testing.T) {
+	var tr Tracker
+	tr.Alloc(100)
+	tr.Alloc(50)
+	tr.Free(100)
+	tr.Alloc(25)
+	if tr.TotalAlloc != 175 {
+		t.Errorf("TotalAlloc = %d, want 175", tr.TotalAlloc)
+	}
+	if tr.Peak != 150 {
+		t.Errorf("Peak = %d, want 150", tr.Peak)
+	}
+	if tr.Cur != 75 {
+		t.Errorf("Cur = %d, want 75", tr.Cur)
+	}
+}
+
+func TestMinePenaltyUsesTracker(t *testing.T) {
+	m := Default(1 << 12)
+	var tr Tracker
+	tr.Alloc(1 << 14)
+	if p := m.MinePenalty(&tr); p == 0 {
+		t.Error("expected nonzero mine penalty over budget")
+	}
+	tr2 := Tracker{}
+	tr2.Alloc(1 << 10)
+	if p := m.MinePenalty(&tr2); p != 0 {
+		t.Errorf("unexpected penalty under budget: %v", p)
+	}
+}

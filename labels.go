@@ -1,0 +1,71 @@
+package cfpgrowth
+
+import (
+	"fmt"
+)
+
+// LabelEncoder maps arbitrary string labels (product names, page URLs,
+// gene identifiers) to the dense uint32 item space the miners operate
+// on, and back. It is the bridge between real-world catalogs and the
+// FIMI-style integer convention used everywhere else in this library.
+//
+// The zero value is ready to use. Not safe for concurrent mutation.
+type LabelEncoder struct {
+	ids   map[string]Item
+	names []string
+}
+
+// Encode maps labels to items, assigning fresh identifiers to labels
+// seen for the first time. The result slice is freshly allocated.
+func (e *LabelEncoder) Encode(labels []string) []Item {
+	if e.ids == nil {
+		e.ids = make(map[string]Item)
+	}
+	out := make([]Item, len(labels))
+	for i, l := range labels {
+		id, ok := e.ids[l]
+		if !ok {
+			id = Item(len(e.names))
+			e.ids[l] = id
+			e.names = append(e.names, l)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// EncodeAll encodes a label-space database into Transactions.
+func (e *LabelEncoder) EncodeAll(db [][]string) Transactions {
+	out := make(Transactions, len(db))
+	for i, tx := range db {
+		out[i] = e.Encode(tx)
+	}
+	return out
+}
+
+// Decode returns the label of an item. It panics on an item this
+// encoder never produced, which always indicates mixed-up encoders.
+func (e *LabelEncoder) Decode(it Item) string {
+	if int(it) >= len(e.names) {
+		panic(fmt.Sprintf("cfpgrowth: item %d unknown to this LabelEncoder", it))
+	}
+	return e.names[it]
+}
+
+// DecodeSet maps an itemset back to labels, preserving order.
+func (e *LabelEncoder) DecodeSet(items []Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = e.Decode(it)
+	}
+	return out
+}
+
+// Lookup returns the item for a label, if it was ever encoded.
+func (e *LabelEncoder) Lookup(label string) (Item, bool) {
+	id, ok := e.ids[label]
+	return id, ok
+}
+
+// NumLabels returns the number of distinct labels seen.
+func (e *LabelEncoder) NumLabels() int { return len(e.names) }

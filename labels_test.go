@@ -1,0 +1,71 @@
+package cfpgrowth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLabelEncoderRoundTrip(t *testing.T) {
+	var e LabelEncoder
+	ids := e.Encode([]string{"bread", "milk", "bread", "eggs"})
+	if ids[0] != ids[2] {
+		t.Error("repeated label got different ids")
+	}
+	if ids[0] == ids[1] || ids[1] == ids[3] {
+		t.Error("distinct labels share an id")
+	}
+	if got := e.DecodeSet(ids); !reflect.DeepEqual(got, []string{"bread", "milk", "bread", "eggs"}) {
+		t.Errorf("DecodeSet = %v", got)
+	}
+	if e.NumLabels() != 3 {
+		t.Errorf("NumLabels = %d, want 3", e.NumLabels())
+	}
+}
+
+func TestLabelEncoderLookup(t *testing.T) {
+	var e LabelEncoder
+	e.Encode([]string{"a"})
+	if id, ok := e.Lookup("a"); !ok || id != 0 {
+		t.Errorf("Lookup(a) = %d,%v", id, ok)
+	}
+	if _, ok := e.Lookup("zzz"); ok {
+		t.Error("Lookup of unseen label succeeded")
+	}
+}
+
+func TestLabelEncoderDecodeUnknownPanics(t *testing.T) {
+	var e LabelEncoder
+	defer func() {
+		if recover() == nil {
+			t.Error("Decode of unknown item did not panic")
+		}
+	}()
+	e.Decode(42)
+}
+
+func TestLabelEncoderMiningWorkflow(t *testing.T) {
+	var e LabelEncoder
+	db := e.EncodeAll([][]string{
+		{"bread", "milk"},
+		{"bread", "milk", "eggs"},
+		{"milk", "eggs"},
+		{"bread", "milk"},
+	})
+	sets, err := MineAll(db, Options{MinSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sets {
+		labels := e.DecodeSet(s.Items)
+		if len(labels) == 2 && labels[0] == "bread" && labels[1] == "milk" {
+			found = true
+			if s.Support != 3 {
+				t.Errorf("support(bread,milk) = %d, want 3", s.Support)
+			}
+		}
+	}
+	if !found {
+		t.Error("itemset {bread, milk} not found")
+	}
+}

@@ -1,0 +1,141 @@
+package cfpgrowth
+
+import (
+	"sort"
+)
+
+// Rule is an association rule X ⇒ Y derived from frequent itemsets:
+// transactions containing X also contain Y with the given confidence.
+type Rule struct {
+	Antecedent []Item // X, sorted ascending
+	Consequent []Item // Y, sorted ascending
+	Support    uint64 // support of X ∪ Y
+	// Confidence is support(X ∪ Y) / support(X).
+	Confidence float64
+	// Lift is confidence / (support(Y)/|D|); > 1 means positive
+	// correlation. Only set when NumTx was provided.
+	Lift float64
+}
+
+// RuleOptions configures rule generation.
+type RuleOptions struct {
+	// MinConfidence filters rules below this confidence (0–1].
+	MinConfidence float64
+	// NumTx, when set, enables lift computation.
+	NumTx uint64
+	// MaxConsequent bounds |Y| (0 = 1, the classic single-consequent
+	// form).
+	MaxConsequent int
+}
+
+// Rules derives association rules from a set of frequent itemsets (as
+// produced by MineAll; the set must be downward closed, which every
+// complete mining result is). Rules are returned sorted by descending
+// confidence, then descending support.
+func Rules(sets []Itemset, opts RuleOptions) []Rule {
+	if opts.MinConfidence <= 0 {
+		opts.MinConfidence = 0.5
+	}
+	maxCons := opts.MaxConsequent
+	if maxCons <= 0 {
+		maxCons = 1
+	}
+	sup := make(map[string]uint64, len(sets))
+	for _, s := range sets {
+		sup[setKey(s.Items)] = s.Support
+	}
+	var rules []Rule
+	for _, s := range sets {
+		if len(s.Items) < 2 {
+			continue
+		}
+		n := len(s.Items)
+		// Enumerate non-empty consequents up to maxCons items.
+		for mask := 1; mask < 1<<n; mask++ {
+			consSize := popcount(uint(mask))
+			if consSize > maxCons || consSize == n {
+				continue
+			}
+			var ante, cons []Item
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					cons = append(cons, s.Items[b])
+				} else {
+					ante = append(ante, s.Items[b])
+				}
+			}
+			anteSup, ok := sup[setKey(ante)]
+			if !ok || anteSup == 0 {
+				continue
+			}
+			conf := float64(s.Support) / float64(anteSup)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			r := Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    s.Support,
+				Confidence: conf,
+			}
+			if opts.NumTx > 0 {
+				if consSup, ok := sup[setKey(cons)]; ok && consSup > 0 {
+					r.Lift = conf / (float64(consSup) / float64(opts.NumTx))
+				}
+			}
+			rules = append(rules, r)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := &rules[i], &rules[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if c := compareSets(a.Antecedent, b.Antecedent); c != 0 {
+			return c < 0
+		}
+		return compareSets(a.Consequent, b.Consequent) < 0
+	})
+	return rules
+}
+
+// compareSets orders itemsets by length, then lexicographically.
+func compareSets(a, b []Item) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func setKey(items []Item) string {
+	b := make([]byte, 4*len(items))
+	for i, v := range items {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+func popcount(v uint) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package cfpgrowth
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRulesBasic(t *testing.T) {
+	sets, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Rules(sets, RuleOptions{MinConfidence: 0.7, NumTx: uint64(len(exampleDB))})
+	if len(rules) == 0 {
+		t.Fatal("no rules generated")
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.7 || r.Confidence > 1.0001 {
+			t.Errorf("rule %v=>%v confidence %v out of range", r.Antecedent, r.Consequent, r.Confidence)
+		}
+		if len(r.Consequent) != 1 {
+			t.Errorf("default consequent size violated: %v", r.Consequent)
+		}
+		if r.Lift <= 0 {
+			t.Errorf("lift not computed for %v=>%v", r.Antecedent, r.Consequent)
+		}
+	}
+	// Sorted by descending confidence.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Confidence > rules[i-1].Confidence {
+			t.Error("rules not sorted by confidence")
+			break
+		}
+	}
+}
+
+func TestRulesKnownConfidence(t *testing.T) {
+	// {1,2} has support 3; {1} support 4; so 1 => 2 has confidence 3/4.
+	sets, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Rules(sets, RuleOptions{MinConfidence: 0.7})
+	found := false
+	for _, r := range rules {
+		if reflect.DeepEqual(r.Antecedent, []Item{1}) && reflect.DeepEqual(r.Consequent, []Item{2}) {
+			found = true
+			if r.Confidence != 0.75 {
+				t.Errorf("confidence(1=>2) = %v, want 0.75", r.Confidence)
+			}
+			if r.Support != 3 {
+				t.Errorf("support(1=>2) = %d, want 3", r.Support)
+			}
+		}
+	}
+	if !found {
+		t.Error("rule 1 => 2 missing")
+	}
+}
+
+func TestRulesMinConfidenceFilters(t *testing.T) {
+	sets, _ := MineAll(exampleDB, Options{MinSupport: 2})
+	loose := Rules(sets, RuleOptions{MinConfidence: 0.5})
+	tight := Rules(sets, RuleOptions{MinConfidence: 0.99})
+	if len(tight) >= len(loose) {
+		t.Errorf("tight threshold kept %d rules, loose %d", len(tight), len(loose))
+	}
+}
+
+func TestRulesMultiConsequent(t *testing.T) {
+	sets, _ := MineAll(exampleDB, Options{MinSupport: 2})
+	rules := Rules(sets, RuleOptions{MinConfidence: 0.5, MaxConsequent: 2})
+	hasTwo := false
+	for _, r := range rules {
+		if len(r.Consequent) == 2 {
+			hasTwo = true
+		}
+		if len(r.Consequent) > 2 {
+			t.Errorf("consequent too large: %v", r.Consequent)
+		}
+	}
+	if !hasTwo {
+		t.Error("no 2-item consequents despite MaxConsequent 2")
+	}
+}
+
+func TestRulesEmptyInput(t *testing.T) {
+	if rules := Rules(nil, RuleOptions{}); len(rules) != 0 {
+		t.Errorf("rules from nothing: %v", rules)
+	}
+	// Singletons alone produce no rules.
+	if rules := Rules([]Itemset{{Items: []Item{1}, Support: 5}}, RuleOptions{}); len(rules) != 0 {
+		t.Errorf("rules from singletons: %v", rules)
+	}
+}

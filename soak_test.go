@@ -1,0 +1,75 @@
+package cfpgrowth
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/quest"
+	"cfpgrowth/internal/synth"
+)
+
+// TestSoakProfilesAllAlgorithms cross-validates every algorithm on
+// realistically shaped datasets at moderate scale. Skipped with -short.
+func TestSoakProfilesAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	type workload struct {
+		name   string
+		db     dataset.Slice
+		relSup float64
+		algos  []string
+	}
+	prof := func(name string, scale int) dataset.Slice {
+		p, ok := synth.ByName(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		return p.Generate(scale)
+	}
+	fast := []string{"cfpgrowth", "cfpgrowth-par", "pfp", "fpgrowth", "eclat", "nonordfp", "fparray", "afopt", "ctpro"}
+	// tiny and apriori are excluded from the dense/deep workloads (they
+	// are orders of magnitude slower there, which is the paper's
+	// point) but included on the sparse one.
+	workloads := []workload{
+		{"retail-like", prof("retail", 20), 0.01, append(fast[:len(fast):len(fast)], "apriori", "tiny")},
+		{"mushroom-like", prof("mushroom", 4), 0.45, fast},
+		{"quest-small", dataset.Slice(quest.Generate(quest.Config{
+			NumTx: 3000, AvgTxLen: 12, NumItems: 500, NumPatterns: 80, Seed: 6,
+		})), 0.02, fast},
+	}
+	for _, w := range workloads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			opts := Options{RelativeSupport: w.relSup}
+			want, err := MineAll(w.db, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("workload %s found nothing; lower the support", w.name)
+			}
+			t.Logf("%s: %d transactions, %d itemsets", w.name, len(w.db), len(want))
+			for _, alg := range w.algos {
+				if alg == "cfpgrowth" {
+					continue // the reference above
+				}
+				o := opts
+				o.Algorithm = alg
+				got, err := MineAll(w.db, o)
+				if err != nil {
+					t.Fatalf("%s: %v", alg, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s found %d itemsets, reference %d", alg, len(got), len(want))
+				}
+				for i := range want {
+					if want[i].Support != got[i].Support {
+						t.Fatalf("%s: itemset %v support %d, reference %v support %d",
+							alg, got[i].Items, got[i].Support, want[i].Items, want[i].Support)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package cfpgrowth
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestUpdatableIndexMatchesBatch(t *testing.T) {
+	u := NewUpdatableIndex(TreeConfig{})
+	for _, tx := range exampleDB {
+		u.Add(tx)
+	}
+	got, err := u.MineAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MineAll(exampleDB, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("updatable index mining differs from batch mining\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestUpdatableIndexInterleavedMining(t *testing.T) {
+	u := NewUpdatableIndex(TreeConfig{})
+	u.Add([]Item{1, 2})
+	u.Add([]Item{1, 2})
+	first, err := u.MineAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 3 {
+		t.Fatalf("after 2 txs: %v", first)
+	}
+	// Mining must not freeze the index: keep adding.
+	u.Add([]Item{2, 3})
+	u.Add([]Item{2, 3})
+	second, err := u.MineAll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MineAll(Transactions{{1, 2}, {1, 2}, {2, 3}, {2, 3}}, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Errorf("after interleaved adds:\n got %v\nwant %v", second, want)
+	}
+}
+
+func TestUpdatableIndexVaryingSupport(t *testing.T) {
+	u := NewUpdatableIndex(TreeConfig{})
+	for _, tx := range exampleDB {
+		u.Add(tx)
+	}
+	// Same converted array serves different supports without rebuild.
+	at3, err := u.MineAll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3, _ := MineAll(exampleDB, Options{MinSupport: 3})
+	if !reflect.DeepEqual(at3, want3) {
+		t.Error("support-3 mining differs")
+	}
+	at1, err := u.MineAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, _ := MineAll(exampleDB, Options{MinSupport: 1})
+	if !reflect.DeepEqual(at1, want1) {
+		t.Error("support-1 mining differs")
+	}
+}
+
+func TestUpdatableIndexSingleItemSupport(t *testing.T) {
+	u := NewUpdatableIndex(TreeConfig{})
+	u.Add([]Item{5, 5, 9})
+	u.Add([]Item{5})
+	if got := u.Support(5); got != 2 {
+		t.Errorf("Support(5) = %d, want 2 (duplicates within tx ignored)", got)
+	}
+	if got := u.Support(123); got != 0 {
+		t.Errorf("Support(unknown) = %d", got)
+	}
+	if u.NumTx() != 2 || u.NumItems() != 2 {
+		t.Errorf("NumTx=%d NumItems=%d", u.NumTx(), u.NumItems())
+	}
+}
+
+func TestUpdatableIndexEmpty(t *testing.T) {
+	u := NewUpdatableIndex(TreeConfig{})
+	sets, err := u.MineAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 0 {
+		t.Errorf("empty index mined %v", sets)
+	}
+}
+
+func TestUpdatableIndexRandomizedVsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		u := NewUpdatableIndex(TreeConfig{})
+		var db Transactions
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			tx := make([]Item, 1+rng.Intn(8))
+			for j := range tx {
+				tx[j] = Item(1 + rng.Intn(15))
+			}
+			db = append(db, tx)
+			u.Add(tx)
+		}
+		for _, minSup := range []uint64{1, 3} {
+			got, err := u.MineAll(minSup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := MineAll(db, Options{MinSupport: minSup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d minSup %d: updatable differs from batch", trial, minSup)
+			}
+		}
+	}
+}
