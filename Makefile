@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench fuzz experiments examples clean
+.PHONY: all build vet test test-race test-short check bench fuzz experiments examples clean
 
-all: build vet test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ test-short:
 
 test-race:
 	$(GO) test -race ./internal/core/ ./internal/pfp/ ./internal/mine/ .
+
+# The gate for every change: static analysis plus the full test suite
+# under the race detector (cancellation plumbing is concurrency-heavy).
+check: vet
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus the ablations.
 bench:

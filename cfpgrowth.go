@@ -28,6 +28,7 @@
 package cfpgrowth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,15 @@ import (
 	"cfpgrowth/internal/fptree"
 	"cfpgrowth/internal/mine"
 )
+
+// ErrCanceled reports a mining run aborted by its Options.Context —
+// explicit cancellation or an exceeded deadline. Test with errors.Is.
+var ErrCanceled = mine.ErrCanceled
+
+// ErrBudgetExceeded reports a mining run aborted because a resource
+// budget (Options.MaxBytes or Options.MaxItemsets) was exhausted.
+// Test with errors.Is.
+var ErrBudgetExceeded = mine.ErrBudgetExceeded
 
 // Item is an item identifier.
 type Item = uint32
@@ -104,6 +114,24 @@ type Options struct {
 	// the parallel CFP-growth variant (cfpgrowth only; emission order
 	// becomes nondeterministic).
 	Parallel int
+	// Context, when non-nil, cancels the run: once it is canceled or
+	// its deadline passes, every phase — build, conversion, serial and
+	// parallel mining — stops promptly and the run returns an error
+	// wrapping ErrCanceled. An already-canceled Context fails the run
+	// before anything is emitted.
+	Context context.Context
+	// MaxBytes, when positive, bounds the run's modeled structure
+	// memory (the same C-layout byte counts MemoryStats reports, not
+	// Go heap bytes). A run that would exceed it stops promptly with
+	// an error wrapping ErrBudgetExceeded — the in-core guardrail for
+	// serving deployments: degrade by failing fast instead of
+	// thrashing once mining no longer fits its memory envelope.
+	MaxBytes int64
+	// MaxItemsets, when positive, bounds the number of itemsets
+	// delivered to the handler; the run stops with an error wrapping
+	// ErrBudgetExceeded at the first itemset past the limit. This caps
+	// runaway result explosions from too-low supports.
+	MaxItemsets uint64
 }
 
 // Algorithms lists the available algorithm names.
@@ -129,7 +157,7 @@ func (o Options) minSupport(src Source) (uint64, error) {
 	}
 }
 
-func (o Options) miner(track mine.MemTracker) (mine.Miner, error) {
+func (o Options) miner(track mine.MemTracker, ctl *mine.Control) (mine.Miner, error) {
 	name := o.Algorithm
 	if name == "" {
 		name = "cfpgrowth"
@@ -147,15 +175,71 @@ func (o Options) miner(track mine.MemTracker) (mine.Miner, error) {
 				Workers: o.Parallel,
 				Track:   track,
 				MaxLen:  o.MaxLen,
+				Ctl:     ctl,
 			}, nil
 		}
 		// The CFP-growth and FP-growth miners prune the search itself
 		// at MaxLen; the other algorithms filter at the sink.
-		return core.Growth{Config: cfg, Track: track, MaxLen: o.MaxLen}, nil
+		return core.Growth{Config: cfg, Track: track, MaxLen: o.MaxLen, Ctl: ctl}, nil
 	case "fpgrowth":
-		return fptree.Growth{Track: track, MaxLen: o.MaxLen}, nil
+		return fptree.Growth{Track: track, MaxLen: o.MaxLen, Ctl: ctl}, nil
 	}
-	return algo.New(name, track)
+	return algo.New(name, track, ctl)
+}
+
+// controlled reports whether the run needs a cancellation/budget
+// control at all; uncontrolled runs skip the wrappers entirely.
+func (o Options) controlled() bool {
+	return o.Context != nil || o.MaxBytes > 0 || o.MaxItemsets > 0
+}
+
+// run executes one controlled mining run of src into sink: it resolves
+// the support threshold, arms the Control from Context/MaxBytes/
+// MaxItemsets, builds the miner, and fills o.Memory afterwards.
+func (o Options) run(src Source, sink mine.Sink) error {
+	minSup, err := o.minSupport(src)
+	if err != nil {
+		return err
+	}
+	var ctl *mine.Control
+	if o.controlled() {
+		ctl = &mine.Control{MaxBytes: o.MaxBytes}
+		if o.Context != nil {
+			if err := o.Context.Err(); err != nil {
+				// Fail synchronously: nothing is scanned or emitted.
+				return fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
+			release := ctl.Watch(o.Context)
+			defer release()
+		}
+		// The ControlSink sits next to the caller's sink: it gates and
+		// counts exactly the itemsets the handler would receive, and a
+		// handler error stops every phase and worker of the run.
+		sink = &mine.ControlSink{Inner: sink, Ctl: ctl, Max: o.MaxItemsets}
+	}
+	var track mine.MemTracker
+	var peak *mine.PeakTracker
+	if o.Memory != nil {
+		peak = &mine.PeakTracker{}
+		track = peak
+	}
+	if o.MaxBytes > 0 {
+		track = &mine.BudgetTracker{Inner: track, Ctl: ctl}
+	}
+	m, err := o.miner(track, ctl)
+	if err != nil {
+		return err
+	}
+	if o.MaxLen > 0 {
+		sink = &mine.MaxLenSink{Inner: sink, Max: o.MaxLen}
+	}
+	if err := m.Mine(src, minSup, sink); err != nil {
+		return err
+	}
+	if peak != nil {
+		*o.Memory = MemoryStats{PeakBytes: peak.Peak, AverageBytes: peak.Avg()}
+	}
+	return nil
 }
 
 type handlerSink struct{ fn Handler }
@@ -165,33 +249,13 @@ func (s handlerSink) Emit(items []uint32, support uint64) error {
 }
 
 // Mine finds every itemset whose support reaches the configured
-// threshold and passes each to fn exactly once.
+// threshold and passes each to fn exactly once. Runs can be bounded in
+// time and space via Options.Context, MaxBytes and MaxItemsets; a
+// bounded run that trips its limit returns an error wrapping
+// ErrCanceled or ErrBudgetExceeded, with all phases (and all workers,
+// under Options.Parallel) stopped promptly.
 func Mine(src Source, opts Options, fn Handler) error {
-	minSup, err := opts.minSupport(src)
-	if err != nil {
-		return err
-	}
-	var track mine.MemTracker
-	var peek *mine.PeakTracker
-	if opts.Memory != nil {
-		peek = &mine.PeakTracker{}
-		track = peek
-	}
-	m, err := opts.miner(track)
-	if err != nil {
-		return err
-	}
-	var sink mine.Sink = handlerSink{fn: fn}
-	if opts.MaxLen > 0 {
-		sink = &mine.MaxLenSink{Inner: sink, Max: opts.MaxLen}
-	}
-	if err := m.Mine(src, minSup, sink); err != nil {
-		return err
-	}
-	if peek != nil {
-		*opts.Memory = MemoryStats{PeakBytes: peek.Peak, AverageBytes: peek.Avg()}
-	}
-	return nil
+	return opts.run(src, handlerSink{fn: fn})
 }
 
 // MineAll materializes every frequent itemset. Prefer Mine for large
@@ -216,15 +280,7 @@ func MineAll(src Source, opts Options) ([]Itemset, error) {
 // size).
 func Count(src Source, opts Options) (total uint64, byLen []uint64, err error) {
 	var sink mine.CountSink
-	minSup, err := opts.minSupport(src)
-	if err != nil {
-		return 0, nil, err
-	}
-	m, err := opts.miner(nil)
-	if err != nil {
-		return 0, nil, err
-	}
-	if err := m.Mine(src, minSup, &sink); err != nil {
+	if err := opts.run(src, &sink); err != nil {
 		return 0, nil, err
 	}
 	return sink.N, sink.ByLen, nil
@@ -254,10 +310,22 @@ type CompressionStats struct {
 
 // AnalyzeCompression builds the CFP-tree and CFP-array for src at the
 // given options and reports their sizes against the FP-tree baseline.
+// Options.Context and MaxBytes bound the analysis like they bound Mine.
 func AnalyzeCompression(src Source, opts Options) (CompressionStats, error) {
 	minSup, err := opts.minSupport(src)
 	if err != nil {
 		return CompressionStats{}, err
+	}
+	var ctl *mine.Control
+	if opts.controlled() {
+		ctl = &mine.Control{MaxBytes: opts.MaxBytes}
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				return CompressionStats{}, fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
+			release := ctl.Watch(opts.Context)
+			defer release()
+		}
 	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
@@ -277,16 +345,26 @@ func AnalyzeCompression(src Source, opts Options) (CompressionStats, error) {
 		DisableEmbed:  opts.Tree.DisableEmbed,
 	}, names, sups)
 	var buf []uint32
+	var txn int
 	err = src.Scan(func(tx []uint32) error {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		tree.Insert(buf, 1)
+		if txn++; txn&1023 == 0 {
+			ctl.Probe(tree.Extent())
+		}
 		return nil
 	})
 	if err != nil {
 		return CompressionStats{}, err
 	}
 	ts := tree.Stats()
-	arr := core.Convert(tree)
+	arr, err := core.ConvertCtl(tree, ctl)
+	if err != nil {
+		return CompressionStats{}, err
+	}
 	as := arr.Stats()
 	return CompressionStats{
 		FPTreeNodes:     ts.Nodes,

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,9 @@ func main() {
 		topk      = flag.Int("topk", 0, "report only the K highest-support itemsets of ≥2 items")
 		saveIdx   = flag.String("saveindex", "", "also save the compressed CFP-array index to this file")
 		loadIdx   = flag.String("loadindex", "", "mine from a saved index instead of -input")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
+		maxBytes  = flag.Int64("max-bytes", 0, "abort when modeled mining memory exceeds this many bytes (0 = no limit)")
+		maxSets   = flag.Uint64("max-itemsets", 0, "abort after emitting this many itemsets (0 = no limit)")
 	)
 	flag.Parse()
 	if *input == "" && *loadIdx == "" {
@@ -52,10 +56,17 @@ func main() {
 		Algorithm:       *algo,
 		MaxLen:          *maxLen,
 		Parallel:        *parallel,
+		MaxBytes:        *maxBytes,
+		MaxItemsets:     *maxSets,
 		Tree: cfpgrowth.TreeConfig{
 			DisableChains: *noChain,
 			DisableEmbed:  *noEmbed,
 		},
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
 	}
 	var ms cfpgrowth.MemoryStats
 	opts.Memory = &ms

@@ -11,27 +11,41 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"cfpgrowth/internal/experiments"
+	"cfpgrowth/internal/mine"
 )
 
 func main() {
 	var (
-		scale  = flag.Int("scale", 1000, "dataset scale divisor (1000 = 1/1000 of the paper's sizes)")
-		budget = flag.Int64("budget", 0, "modeled physical memory in MiB (0 = auto from scale)")
-		quick  = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		scale    = flag.Int("scale", 1000, "dataset scale divisor (1000 = 1/1000 of the paper's sizes)")
+		budget   = flag.Int64("budget", 0, "modeled physical memory in MiB (0 = auto from scale)")
+		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 10m (0 = no limit)")
+		maxBytes = flag.Int64("max-bytes", 0, "abort any sweep whose modeled mining memory exceeds this many bytes (0 = no limit)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] [-timeout D] [-max-bytes N] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|all>...")
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Scale: *scale, MemBudget: *budget << 20, Quick: *quick}.WithDefaults()
+	if *timeout > 0 || *maxBytes > 0 {
+		ctl := &mine.Control{MaxBytes: *maxBytes}
+		if *timeout > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			defer cancel()
+			release := ctl.Watch(ctx)
+			defer release()
+		}
+		cfg.Ctl = ctl
+	}
 	want := map[string]bool{}
 	for _, a := range args {
 		if a == "all" {

@@ -83,7 +83,7 @@ func MineTopK(src Source, opts Options, k, minLen int) ([]Itemset, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := opts.miner(nil)
+	m, err := opts.miner(nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -70,8 +70,15 @@ func ReadCSV(r io.Reader, opts CSVOptions) (Transactions, *LabelEncoder, error) 
 		}
 	case CSVLong:
 		tidCol, itemCol := opts.TIDColumn, opts.ItemColumn
+		if tidCol < 0 || itemCol < 0 {
+			return nil, nil, fmt.Errorf("cfpgrowth: csv: negative column index (TIDColumn %d, ItemColumn %d)", tidCol, itemCol)
+		}
 		if tidCol == 0 && itemCol == 0 {
 			itemCol = 1
+		}
+		// Equal columns would mis-parse every row's TID as its item.
+		if tidCol == itemCol {
+			return nil, nil, fmt.Errorf("cfpgrowth: csv: TIDColumn and ItemColumn are both %d", tidCol)
 		}
 		groups := map[string][]Item{}
 		var order []string

@@ -74,6 +74,28 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVLongBadColumns(t *testing.T) {
+	in := "42,bread\n"
+	// Equal columns would silently mine TIDs as items.
+	if _, _, err := ReadCSV(strings.NewReader(in), CSVOptions{
+		Layout: CSVLong, TIDColumn: 1, ItemColumn: 1,
+	}); err == nil {
+		t.Error("TIDColumn == ItemColumn accepted")
+	}
+	for _, opts := range []CSVOptions{
+		{Layout: CSVLong, TIDColumn: -1},
+		{Layout: CSVLong, ItemColumn: -2},
+	} {
+		if _, _, err := ReadCSV(strings.NewReader(in), opts); err == nil {
+			t.Errorf("negative column index accepted: %+v", opts)
+		}
+	}
+	// The zero value still means "columns 0 and 1".
+	if _, _, err := ReadCSV(strings.NewReader(in), CSVOptions{Layout: CSVLong}); err != nil {
+		t.Errorf("default columns rejected: %v", err)
+	}
+}
+
 func TestReadCSVEmptyCellsSkipped(t *testing.T) {
 	in := "bread,,milk\n,,\n"
 	db, _, err := ReadCSV(strings.NewReader(in), CSVOptions{Layout: CSVWide})

@@ -115,7 +115,7 @@ func (ix *Index) Mine(minSupport uint64, fn Handler) error {
 		return fmt.Errorf("cfpgrowth: index built at support %d cannot mine at %d",
 			ix.BaseSupport, minSupport)
 	}
-	return core.MineArray(ix.arr, core.Config{}, minSupport, handlerSink{fn: fn}, nil, 0)
+	return core.MineArray(ix.arr, core.Config{}, minSupport, handlerSink{fn: fn}, nil, 0, nil)
 }
 
 // MineAll materializes every itemset at minSupport.
@@ -125,7 +125,7 @@ func (ix *Index) MineAll(minSupport uint64) ([]Itemset, error) {
 		return nil, fmt.Errorf("cfpgrowth: index built at support %d cannot mine at %d",
 			ix.BaseSupport, minSupport)
 	}
-	if err := core.MineArray(ix.arr, core.Config{}, minSupport, &sink, nil, 0); err != nil {
+	if err := core.MineArray(ix.arr, core.Config{}, minSupport, &sink, nil, 0, nil); err != nil {
 		return nil, err
 	}
 	mine.Canonicalize(sink.Sets)

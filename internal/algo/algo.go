@@ -21,29 +21,31 @@ import (
 )
 
 // factories maps algorithm names to constructors taking a memory
-// tracker.
-var factories = map[string]func(mine.MemTracker) mine.Miner{
-	"cfpgrowth":     func(t mine.MemTracker) mine.Miner { return core.Growth{Track: t} },
-	"cfpgrowth-par": func(t mine.MemTracker) mine.Miner { return core.ParallelGrowth{Track: t} },
-	"pfp":           func(t mine.MemTracker) mine.Miner { return pfp.Miner{Track: t} },
-	"fpgrowth":      func(t mine.MemTracker) mine.Miner { return fptree.Growth{Track: t} },
-	"apriori":       func(t mine.MemTracker) mine.Miner { return apriori.Miner{Track: t} },
-	"eclat":         func(t mine.MemTracker) mine.Miner { return eclat.Miner{Track: t} },
-	"nonordfp":      func(t mine.MemTracker) mine.Miner { return nonordfp.Miner{Track: t} },
-	"fparray":       func(t mine.MemTracker) mine.Miner { return fparray.Miner{Track: t} },
-	"tiny":          func(t mine.MemTracker) mine.Miner { return tiny.Miner{Track: t} },
-	"afopt":         func(t mine.MemTracker) mine.Miner { return afopt.Miner{Track: t} },
-	"ctpro":         func(t mine.MemTracker) mine.Miner { return ctpro.Miner{Track: t} },
+// tracker and a cancellation control. Miners without native control
+// support ignore ctl; their runs are still stopped at the next
+// emission by the mine.ControlSink the callers wrap around the sink.
+var factories = map[string]func(mine.MemTracker, *mine.Control) mine.Miner{
+	"cfpgrowth":     func(t mine.MemTracker, c *mine.Control) mine.Miner { return core.Growth{Track: t, Ctl: c} },
+	"cfpgrowth-par": func(t mine.MemTracker, c *mine.Control) mine.Miner { return core.ParallelGrowth{Track: t, Ctl: c} },
+	"pfp":           func(t mine.MemTracker, c *mine.Control) mine.Miner { return pfp.Miner{Track: t, Ctl: c} },
+	"fpgrowth":      func(t mine.MemTracker, c *mine.Control) mine.Miner { return fptree.Growth{Track: t, Ctl: c} },
+	"apriori":       func(t mine.MemTracker, c *mine.Control) mine.Miner { return apriori.Miner{Track: t, Ctl: c} },
+	"eclat":         func(t mine.MemTracker, c *mine.Control) mine.Miner { return eclat.Miner{Track: t, Ctl: c} },
+	"nonordfp":      func(t mine.MemTracker, _ *mine.Control) mine.Miner { return nonordfp.Miner{Track: t} },
+	"fparray":       func(t mine.MemTracker, _ *mine.Control) mine.Miner { return fparray.Miner{Track: t} },
+	"tiny":          func(t mine.MemTracker, _ *mine.Control) mine.Miner { return tiny.Miner{Track: t} },
+	"afopt":         func(t mine.MemTracker, _ *mine.Control) mine.Miner { return afopt.Miner{Track: t} },
+	"ctpro":         func(t mine.MemTracker, _ *mine.Control) mine.Miner { return ctpro.Miner{Track: t} },
 }
 
 // New returns the miner registered under name, reporting memory to
-// track (which may be nil).
-func New(name string, track mine.MemTracker) (mine.Miner, error) {
+// track and honoring ctl (both may be nil).
+func New(name string, track mine.MemTracker, ctl *mine.Control) (mine.Miner, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("algo: unknown algorithm %q (have %v)", name, Names())
 	}
-	return f(track), nil
+	return f(track, ctl), nil
 }
 
 // Names lists the registered algorithms, sorted.

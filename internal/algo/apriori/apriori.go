@@ -19,6 +19,9 @@ import (
 type Miner struct {
 	// Track observes modeled memory consumption (candidate trie).
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled during each counting scan so a
+	// stopped run aborts promptly mid-level.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -36,6 +39,9 @@ const trieNodeBytes = 24
 
 // Mine implements mine.Miner.
 func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	if err := m.Ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -70,6 +76,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 		track.Alloc(int64(nodes) * trieNodeBytes)
 		var buf []uint32
 		err := src.Scan(func(tx []uint32) error {
+			if err := m.Ctl.Err(); err != nil {
+				return err
+			}
 			buf = rec.Encode(tx, buf[:0])
 			if len(buf) >= k {
 				countTrie(root, buf, k)

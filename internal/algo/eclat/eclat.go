@@ -19,6 +19,9 @@ type Miner struct {
 	// which is why the paper finds LCM's footprint proportional to the
 	// number of transactions, §4.5) plus 4 bytes per tidlist entry.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled during the vertical build and the
+	// depth-first search so a stopped run aborts promptly.
+	Ctl *mine.Control
 }
 
 // DatasetBytesPerOccurrence models the in-memory transaction storage
@@ -30,6 +33,9 @@ func (Miner) Name() string { return "eclat" }
 
 // Mine implements mine.Miner.
 func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	if err := m.Ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -55,6 +61,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	var occurrences int64
 	var buf []uint32
 	err = src.Scan(func(tx []uint32) error {
+		if err := m.Ctl.Err(); err != nil {
+			return err
+		}
 		occurrences += int64(len(tx))
 		buf = rec.Encode(tx, buf[:0])
 		for _, rk := range buf {
@@ -73,7 +82,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	track.Alloc(resident)
 	defer track.Free(resident)
 
-	e := &eclat{minSup: minSupport, sink: sink, track: track, rec: rec}
+	e := &eclat{minSup: minSupport, sink: sink, track: track, rec: rec, ctl: m.Ctl}
 	// Depth-first over extensions in ascending rank order.
 	items := make([]uint32, n)
 	for i := range items {
@@ -87,6 +96,7 @@ type eclat struct {
 	sink   mine.Sink
 	track  mine.MemTracker
 	rec    *dataset.Recoder
+	ctl    *mine.Control // nil = never canceled
 	setBuf []uint32
 }
 
@@ -95,6 +105,9 @@ type eclat struct {
 // the prefix-conditional database.
 func (e *eclat) grow(prefix []uint32, items []uint32, tids [][]uint32) error {
 	for i, it := range items {
+		if err := e.ctl.Err(); err != nil {
+			return err
+		}
 		sup := uint64(len(tids[i]))
 		if sup < e.minSup {
 			continue

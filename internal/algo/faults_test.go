@@ -41,7 +41,7 @@ func TestScanErrorsPropagate(t *testing.T) {
 	for _, name := range Names() {
 		for _, failPass := range []int{1, 2} {
 			src := &faultySource{db: db, failPass: failPass, failTx: 2}
-			m, err := New(name, nil)
+			m, err := New(name, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,7 +60,7 @@ func TestScanErrorOnLaterPass(t *testing.T) {
 	db := dataset.Slice{{1, 2, 3}, {1, 2, 3}, {1, 2, 3}}
 	for _, name := range []string{"apriori", "fparray"} {
 		src := &faultySource{db: db, failPass: 3, failTx: 1}
-		m, err := New(name, nil)
+		m, err := New(name, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +80,7 @@ func TestTrackerBalancedOnError(t *testing.T) {
 	db := dataset.Slice{{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}}
 	for _, name := range Names() {
 		var tr mine.PeakTracker
-		m, err := New(name, &tr)
+		m, err := New(name, &tr, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cfpgrowth/internal/encoding"
+	"cfpgrowth/internal/mine"
 )
 
 // Convert transforms a ternary CFP-tree into a CFP-array (§3.5). The
@@ -17,6 +18,16 @@ import (
 // writes within each subarray are strictly sequential — the access
 // pattern that keeps conversion cheap even under memory pressure.
 func Convert(t *Tree) *Array {
+	a, _ := ConvertCtl(t, nil)
+	return a
+}
+
+// ConvertCtl is Convert with a cancellation/budget check threaded
+// through all three passes: each walk polls ctl once per physical node
+// and the conversion is abandoned with ctl's stop cause as soon as it
+// fires, so a canceled or over-budget run never pays for a full
+// conversion of a large tree. A nil ctl makes it equivalent to Convert.
+func ConvertCtl(t *Tree, ctl *mine.Control) (*Array, error) {
 	numItems := t.NumItems()
 	a := &Array{
 		itemName: t.itemName,
@@ -25,12 +36,20 @@ func Convert(t *Tree) *Array {
 		starts:   make([]uint64, numItems+1),
 		numNodes: t.NumNodes(),
 	}
+	stop := ctl.Stopped
+	if ctl == nil {
+		stop = nil
+	}
 	// Preliminary walk: full FP counts per node, in walk order.
 	cp := &countPass{counts: make([]uint64, 0, t.NumNodes())}
-	t.Walk(cp)
+	if !t.WalkUntil(cp, stop) {
+		return nil, ctl.Err()
+	}
 	// Pass 1: sizes and local positions.
 	sp := &placePass{a: a, counts: cp.counts, acc: make([]uint64, numItems)}
-	t.Walk(sp)
+	if !t.WalkUntil(sp, stop) {
+		return nil, ctl.Err()
+	}
 	// Subarray starting positions.
 	var total uint64
 	for i := 0; i < numItems; i++ {
@@ -38,11 +57,19 @@ func Convert(t *Tree) *Array {
 		total += sp.acc[i]
 	}
 	a.starts[numItems] = total
-	// Pass 2: write triples into their final positions.
+	// Pass 2: write triples into their final positions. The array data
+	// is the conversion's one large transient allocation; probe it
+	// against the budget before committing.
+	ctl.Probe(int64(total))
+	if err := ctl.Err(); err != nil {
+		return nil, err
+	}
 	a.data = make([]byte, total)
 	wp := &placePass{a: a, counts: cp.counts, acc: make([]uint64, numItems), write: true}
-	t.Walk(wp)
-	return a
+	if !t.WalkUntil(wp, stop) {
+		return nil, ctl.Err()
+	}
+	return a, nil
 }
 
 // countPass computes the full FP count of every node: the sum of the

@@ -21,6 +21,10 @@ type Growth struct {
 	// MaxLen, when positive, prunes the search at itemsets of that
 	// cardinality: longer itemsets are neither emitted nor explored.
 	MaxLen int
+	// Ctl, when non-nil, is polled throughout the build, conversion and
+	// mining phases: once stopped (cancellation, deadline, budget), the
+	// run aborts promptly with the stop cause.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -28,6 +32,9 @@ func (Growth) Name() string { return "cfpgrowth" }
 
 // Mine implements mine.Miner.
 func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	if err := g.Ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -56,13 +63,24 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 		maxLen:    g.MaxLen,
 		sink:      sink,
 		track:     track,
+		ctl:       g.Ctl,
 		treeArena: arena.New(),
 	}
 	tree := NewTree(m.treeArena, g.Config, itemName, itemCount)
 	var buf []uint32
+	var txn int
 	err = src.Scan(func(tx []uint32) error {
+		if err := g.Ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		tree.Insert(buf, 1)
+		// The tree grows throughout the build; probe its extent against
+		// the byte budget periodically so a runaway build is stopped
+		// long before its one-shot Alloc at phase end.
+		if txn++; txn&1023 == 0 {
+			g.Ctl.Probe(tree.Extent())
+		}
 		return nil
 	})
 	if err != nil {
@@ -74,8 +92,9 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 // MineArray mines an already-materialized CFP-array (e.g. one
 // deserialized with ReadArray) at any minimum support not below the
 // support the array was built with. This is the persistent-index entry
-// point: the build phase is skipped entirely.
-func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int) error {
+// point: the build phase is skipped entirely. ctl, when non-nil, makes
+// the recursion abort promptly once stopped.
+func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ctl *mine.Control) error {
 	if minSupport == 0 {
 		minSupport = 1
 	}
@@ -88,6 +107,7 @@ func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mi
 		maxLen:    maxLen,
 		sink:      sink,
 		track:     track,
+		ctl:       ctl,
 		treeArena: arena.New(),
 	}
 	track.Alloc(a.Bytes())
@@ -101,7 +121,7 @@ func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mi
 // mining (PFP-style group-dependent shards): an itemset's support in a
 // shard is exact precisely when its least frequent item belongs to the
 // shard's group, so each shard mines exactly its group's ranks.
-func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ranks []uint32) error {
+func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ranks []uint32, ctl *mine.Control) error {
 	if minSupport == 0 {
 		minSupport = 1
 	}
@@ -114,9 +134,13 @@ func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, tra
 		maxLen:    maxLen,
 		sink:      sink,
 		track:     track,
+		ctl:       ctl,
 		treeArena: arena.New(),
 	}
 	for _, rk := range ranks {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
 		if err := m.mineTopItem(a, rk); err != nil {
 			return err
 		}
@@ -131,12 +155,16 @@ type cfpGrower struct {
 	maxLen    int
 	sink      mine.Sink
 	track     mine.MemTracker
-	treeArena *arena.Arena // one CFP-tree at a time (§4.1)
+	ctl       *mine.Control // nil = never canceled
+	treeArena *arena.Arena  // one CFP-tree at a time (§4.1)
 	emitBuf   []uint32
 	pathBuf   []uint32
 }
 
 func (m *cfpGrower) emit(prefix []uint32, support uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
 	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
 	return m.sink.Emit(m.emitBuf, support)
@@ -154,11 +182,16 @@ func (m *cfpGrower) mineTree(t *Tree, prefix []uint32) error {
 		m.track.Free(treeBytes)
 		return m.minePath(t, path, prefix)
 	}
-	arr := Convert(t)
+	arr, err := ConvertCtl(t, m.ctl)
+	if err != nil {
+		m.treeArena.Reset()
+		m.track.Free(treeBytes)
+		return err
+	}
 	m.treeArena.Reset()
 	m.track.Free(treeBytes)
 	m.track.Alloc(arr.Bytes())
-	err := m.mineArray(arr, prefix)
+	err = m.mineArray(arr, prefix)
 	m.track.Free(arr.Bytes())
 	return err
 }
@@ -207,6 +240,9 @@ func (m *cfpGrower) minePath(t *Tree, path []PathNode, prefix []uint32) error {
 // (in the recycled tree arena), and recurse.
 func (m *cfpGrower) mineArray(a *Array, prefix []uint32) error {
 	for rk := a.NumItems() - 1; rk >= 0; rk-- {
+		if err := m.ctl.Err(); err != nil {
+			return err
+		}
 		rank := uint32(rk)
 		if a.Nodes(rank) == 0 {
 			continue

@@ -25,6 +25,11 @@ type ParallelGrowth struct {
 	Track mine.MemTracker
 	// MaxLen, when positive, prunes the search at that cardinality.
 	MaxLen int
+	// Ctl, when non-nil, is the run's cancellation/budget point. The
+	// miner also uses a (private) Control when none is supplied, so
+	// first-error propagation between workers never depends on the
+	// caller wiring one up.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -32,7 +37,21 @@ func (ParallelGrowth) Name() string { return "cfpgrowth-par" }
 
 // Mine implements mine.Miner. Emission order is nondeterministic, but
 // the emitted set is identical to the serial miner's.
+//
+// Error semantics: the first failure anywhere — a sink error, a
+// canceled context, a blown budget — stops the shared Control, and
+// every worker observes it before taking its next job and before its
+// next emission, so surviving workers neither drain the remaining job
+// queue nor emit further itemsets; the error returned is always that
+// first failure, even when several workers fail concurrently.
 func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	ctl := g.Ctl
+	if ctl == nil {
+		ctl = &mine.Control{}
+	}
+	if err := ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -58,16 +77,27 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	buildArena := arena.New()
 	tree := NewTree(buildArena, g.Config, itemName, itemCount)
 	var buf []uint32
+	var txn int
 	err = src.Scan(func(tx []uint32) error {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		tree.Insert(buf, 1)
+		if txn++; txn&1023 == 0 {
+			ctl.Probe(tree.Extent())
+		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	track.Alloc(tree.Extent())
-	arr := Convert(tree)
+	arr, err := ConvertCtl(tree, ctl)
+	if err != nil {
+		track.Free(tree.Extent())
+		return err
+	}
 	track.Free(tree.Extent())
 	buildArena.Reset()
 	track.Alloc(arr.Bytes())
@@ -80,16 +110,19 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	if workers > n {
 		workers = n
 	}
-	ssink := &mine.SyncSink{Inner: sink}
-	// Buffered and pre-filled so a worker that exits early on error
-	// can never leave the producer blocked. Least frequent items
-	// (deepest pattern bases) go first for load balance.
+	// The ControlSink sits inside the SyncSink, so the stopped check
+	// and the emission are atomic under the sink mutex: after the first
+	// failing emission stops the Control, no later emission from any
+	// worker can reach the caller's sink.
+	ssink := &mine.SyncSink{Inner: &mine.ControlSink{Inner: sink, Ctl: ctl}}
+	// Buffered and pre-filled so a worker that exits early can never
+	// leave a producer blocked. Least frequent items (deepest pattern
+	// bases) go first for load balance.
 	jobs := make(chan int, n)
 	for rk := n - 1; rk >= 0; rk-- {
 		jobs <- rk
 	}
 	close(jobs)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -101,23 +134,26 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 				maxLen:    g.MaxLen,
 				sink:      ssink,
 				track:     track,
+				ctl:       ctl,
 				treeArena: arena.New(),
 			}
 			for rk := range jobs {
+				// A stopped run abandons the rest of the queue instead
+				// of draining it.
+				if ctl.Stopped() {
+					return
+				}
 				if err := m.mineTopItem(arr, uint32(rk)); err != nil {
-					errs <- err
+					// First Stop wins: if another worker already
+					// failed, its earlier error stays the run's cause.
+					ctl.Stop(err)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return ctl.Err()
 }
 
 // mineTopItem processes one top-level item: emit it and recurse into

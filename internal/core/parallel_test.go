@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"cfpgrowth/internal/dataset"
@@ -54,6 +57,67 @@ func TestParallelSinkErrorPropagates(t *testing.T) {
 	err := (ParallelGrowth{Workers: 2}).Mine(db, 1, &mine.SyncSink{Inner: s})
 	if err == nil {
 		t.Fatal("sink error not propagated")
+	}
+}
+
+// failNSink fails on its nth emission (1-based) with a unique error and
+// counts any emissions that arrive after the failure. It is mutex-
+// guarded so it can be shared by workers without an outer SyncSink.
+type failNSink struct {
+	n uint64 // fail on this emission
+
+	mu    sync.Mutex
+	seen  uint64
+	err   error  // the error the sink issued
+	after uint64 // emissions after the failure — must stay 0
+}
+
+func (s *failNSink) Emit([]uint32, uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		s.after++
+		return s.err
+	}
+	s.seen++
+	if s.seen == s.n {
+		s.err = fmt.Errorf("failNSink: induced failure at emission %d", s.n)
+		return s.err
+	}
+	return nil
+}
+
+// Regression test for the parallel error-propagation bug: workers used
+// to keep draining the buffered jobs channel after a sink failure, so
+// later itemsets were still emitted and a different worker's error
+// could be returned. Now the first error stops every worker and is the
+// error Mine returns, with no emissions past the failure.
+func TestParallelFirstSinkErrorWinsNoLaterEmissions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := make(dataset.Slice, 120)
+	for i := range db {
+		tx := make([]uint32, 2+rng.Intn(10))
+		for j := range tx {
+			tx[j] = uint32(1 + rng.Intn(20))
+		}
+		db[i] = tx
+	}
+	for _, failAt := range []uint64{1, 2, 7, 25} {
+		for _, workers := range []int{2, 4, 8} {
+			s := &failNSink{n: failAt}
+			err := (ParallelGrowth{Workers: workers}).Mine(db, 2, &mine.SyncSink{Inner: s})
+			if err == nil {
+				t.Fatalf("failAt=%d workers=%d: sink error not propagated", failAt, workers)
+			}
+			if !errors.Is(err, s.err) {
+				t.Errorf("failAt=%d workers=%d: Mine returned %v, want the sink's own error %v",
+					failAt, workers, err, s.err)
+			}
+			if s.after != 0 {
+				t.Errorf("failAt=%d workers=%d: %d emissions after the sink failed",
+					failAt, workers, s.after)
+			}
+		}
 	}
 }
 

@@ -144,6 +144,7 @@ func ReadArray(r io.Reader) (*Array, error) {
 		numNodes: int(numNodes),
 	}
 	var off uint64
+	var nodeSum uint64
 	for i := uint64(0); i < numItems; i++ {
 		name, err := uv()
 		if err != nil {
@@ -165,11 +166,19 @@ func ReadArray(r io.Reader) (*Array, error) {
 		if err != nil {
 			return nil, err
 		}
+		nodeSum += nc
 		a.nodes = append(a.nodes, int(nc))
 	}
 	a.starts = append(a.starts, off)
 	if off != dataLen {
 		return nil, fmt.Errorf("%w: subarray lengths disagree with data length", ErrBadFormat)
+	}
+	// The header's total node count is redundant with the per-item
+	// counts; a file where they disagree is corrupt even when its CRC
+	// is internally consistent, and would otherwise load with wrong
+	// stats and traversal bounds.
+	if nodeSum != numNodes {
+		return nil, fmt.Errorf("%w: header claims %d nodes but per-item counts sum to %d", ErrBadFormat, numNodes, nodeSum)
 	}
 	// Same principle for the payload: read in bounded chunks so a
 	// forged length fails at the real end of input, not after a giant

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -104,6 +106,37 @@ func TestSerializeBadMagicAndVersion(t *testing.T) {
 	}
 }
 
+// TestSerializeNodeCountMismatch: the header's total node count is
+// redundant with the per-item counts. A forged file where they disagree
+// can carry a self-consistent CRC (the checksum is recomputed from the
+// parsed fields), so ReadArray must cross-validate the counts.
+func TestSerializeNodeCountMismatch(t *testing.T) {
+	a := buildArrayFrom([][]uint32{{0, 1}, {0, 1, 2}, {1, 2}}, 3)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Layout: magic(4) version(1) numItems(uvarint) numNodes(uvarint).
+	// Both counts are small, so each uvarint is one byte and numNodes
+	// sits at offset 6. Forge it and refresh the CRC trailer so only the
+	// count cross-check can reject the file.
+	if a.NumItems() >= 0x80 || a.NumNodes() >= 0x80 {
+		t.Fatal("test array too large for single-byte uvarints")
+	}
+	forged := byte(a.NumNodes() + 1)
+	if forged >= 0x80 {
+		t.Fatal("forged count not a single-byte uvarint")
+	}
+	data[6] = forged
+	body := data[:len(data)-4]
+	binary.LittleEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+	_, err := ReadArray(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("forged node count accepted: err = %v", err)
+	}
+}
+
 // TestMineDeserializedArray: mining a deserialized array must give the
 // same itemsets as mining the database directly.
 func TestMineDeserializedArray(t *testing.T) {
@@ -148,7 +181,7 @@ func TestMineDeserializedArray(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sink mine.CollectSink
-	if err := MineArray(arr, Config{}, minSup, &sink, nil, 0); err != nil {
+	if err := MineArray(arr, Config{}, minSup, &sink, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	mine.Canonicalize(sink.Sets)
@@ -157,7 +190,7 @@ func TestMineDeserializedArray(t *testing.T) {
 	}
 	// Mining at a higher support from the same index must also agree.
 	var sink2 mine.CollectSink
-	if err := MineArray(arr, Config{}, minSup+2, &sink2, nil, 0); err != nil {
+	if err := MineArray(arr, Config{}, minSup+2, &sink2, nil, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	mine.Canonicalize(sink2.Sets)

@@ -14,13 +14,25 @@ type Visitor interface {
 // Walk traverses the logical tree. The tree must not be modified during
 // the walk.
 func (t *Tree) Walk(v Visitor) {
-	t.walkSlot(t.root, -1, v)
+	t.walkSlot(t.root, -1, v, nil)
 }
 
-func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor) {
+// WalkUntil is Walk with an abort check: stop is polled once per
+// physical node and the traversal is abandoned mid-tree (with
+// unbalanced Enter/Leave calls) as soon as it returns true, so visitor
+// state must be considered garbage after an abort. Reports whether the
+// walk ran to completion.
+func (t *Tree) WalkUntil(v Visitor, stop func() bool) bool {
+	return t.walkSlot(t.root, -1, v, stop)
+}
+
+func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor, stop func() bool) bool {
+	if stop != nil && stop() {
+		return false
+	}
 	switch sv.kind {
 	case slotNone:
-		return
+		return true
 	case slotEmbed:
 		v.Enter(uint32(parentRank+int64(sv.eDelta)), sv.ePcount)
 		v.Leave()
@@ -40,20 +52,29 @@ func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor) {
 			}
 			suffix := c.suffix // value copy: safe across the recursion
 			n := len(c.deltas)
-			t.walkSlot(suffix, r, v)
+			if !t.walkSlot(suffix, r, v, stop) {
+				return false
+			}
 			for i := 0; i < n; i++ {
 				v.Leave()
 			}
 		} else {
 			n, _ := decodeStd(b)
-			t.walkSlot(n.left, parentRank, v)
+			if !t.walkSlot(n.left, parentRank, v, stop) {
+				return false
+			}
 			r := parentRank + int64(n.delta)
 			v.Enter(uint32(r), n.pcount)
-			t.walkSlot(n.suffix, r, v)
+			if !t.walkSlot(n.suffix, r, v, stop) {
+				return false
+			}
 			v.Leave()
-			t.walkSlot(n.right, parentRank, v)
+			if !t.walkSlot(n.right, parentRank, v, stop) {
+				return false
+			}
 		}
 	}
+	return true
 }
 
 // PathNode is one element of a single-path tree.

@@ -19,6 +19,7 @@ import (
 	"cfpgrowth/internal/core"
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/fptree"
+	"cfpgrowth/internal/mine"
 	"cfpgrowth/internal/quest"
 	"cfpgrowth/internal/vm"
 )
@@ -32,6 +33,11 @@ type Config struct {
 	MemBudget int64
 	// Quick trims sweeps for smoke runs.
 	Quick bool
+	// Ctl, when non-nil, lets a harness bound the runs: the mining
+	// sweeps (Figure 8) and the build benchmarks (Figure 7) poll it
+	// and abort with its stop cause — cmd/experiments arms it from
+	// -timeout and -max-bytes.
+	Ctl *mine.Control
 }
 
 // WithDefaults fills in unset fields.
@@ -101,8 +107,11 @@ type buildResult struct {
 	CFPArrayBytes int64
 }
 
-func buildBoth(db dataset.Slice, minSup uint64) (buildResult, error) {
+func buildBoth(db dataset.Slice, minSup uint64, ctl *mine.Control) (buildResult, error) {
 	var r buildResult
+	if err := ctl.Err(); err != nil {
+		return r, err
+	}
 	counts, err := dataset.CountItems(db)
 	if err != nil {
 		return r, err
@@ -146,7 +155,10 @@ func buildBoth(db dataset.Slice, minSup uint64) (buildResult, error) {
 	r.CFPTreeBytes = cfp.Extent()
 
 	t0 = time.Now()
-	arr := core.Convert(cfp)
+	arr, err := core.ConvertCtl(cfp, ctl)
+	if err != nil {
+		return r, err
+	}
 	r.ConvertTime = time.Since(t0)
 	r.CFPArrayBytes = arr.Bytes()
 	return r, nil

@@ -53,7 +53,7 @@ func (c Config) Fig7() ([]Fig7Row, error) {
 	var rows []Fig7Row
 	for _, rel := range c.SupportSweep() {
 		minSup := dataset.AbsoluteSupport(rel, counts.NumTx)
-		br, err := buildBoth(db, minSup)
+		br, err := buildBoth(db, minSup, c.Ctl)
 		if err != nil {
 			return nil, err
 		}

@@ -62,8 +62,15 @@ func (c Config) runFig8(panel, ds string, algos []string) (Fig8Result, error) {
 	for _, rel := range c.SupportSweep() {
 		minSup := dataset.AbsoluteSupport(rel, counts.NumTx)
 		for _, name := range algos {
+			if err := c.Ctl.Err(); err != nil {
+				return Fig8Result{}, err
+			}
 			var track vm.Tracker
-			m, err := algo.New(name, &track)
+			var t mine.MemTracker = &track
+			if c.Ctl != nil {
+				t = &mine.BudgetTracker{Inner: t, Ctl: c.Ctl}
+			}
+			m, err := algo.New(name, t, c.Ctl)
 			if err != nil {
 				return Fig8Result{}, err
 			}

@@ -16,6 +16,10 @@ type Growth struct {
 	// MaxLen, when positive, prunes the search at itemsets of that
 	// cardinality.
 	MaxLen int
+	// Ctl, when non-nil, is polled during the build scan and the
+	// recursion so a stopped run (cancellation, deadline, budget)
+	// aborts promptly with the stop cause.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -23,6 +27,9 @@ func (Growth) Name() string { return "fpgrowth" }
 
 // Mine implements mine.Miner.
 func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	if err := g.Ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -44,6 +51,9 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	tree := New(itemName, itemCount)
 	var buf []uint32
 	err = src.Scan(func(tx []uint32) error {
+		if err := g.Ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		tree.Insert(buf, 1)
 		return nil
@@ -51,7 +61,7 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	if err != nil {
 		return err
 	}
-	return MineTreeMaxLen(tree, minSupport, sink, g.Track, 0, g.MaxLen)
+	return mineTreeCtl(tree, minSupport, sink, g.Track, 0, g.MaxLen, g.Ctl)
 }
 
 // MineTree runs the FP-growth recursion over an already-built tree,
@@ -68,13 +78,17 @@ func MineTree(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTrack
 // MineTreeMaxLen is MineTree with the search pruned at itemsets of
 // maxLen items (0 = unlimited).
 func MineTreeMaxLen(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int) error {
+	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, nil)
+}
+
+func mineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control) error {
 	if track == nil {
 		track = mine.NullTracker{}
 	}
 	if nodeBytes == 0 {
 		nodeBytes = BaselineNodeSize
 	}
-	m := &grower{minSup: minSupport, maxLen: maxLen, sink: sink, track: track, nodeBytes: nodeBytes}
+	m := &grower{minSup: minSupport, maxLen: maxLen, sink: sink, track: track, nodeBytes: nodeBytes, ctl: ctl}
 	track.Alloc(nodeBytes * int64(tree.NumNodes()))
 	defer track.Free(nodeBytes * int64(tree.NumNodes()))
 	return m.mine(tree, nil)
@@ -87,11 +101,15 @@ type grower struct {
 	sink      mine.Sink
 	track     mine.MemTracker
 	nodeBytes int64
+	ctl       *mine.Control // nil = never canceled
 	emitBuf   []uint32
 }
 
 // emit sorts prefix into ascending identifier order and forwards it.
 func (m *grower) emit(prefix []uint32, support uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
 	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
 	return m.sink.Emit(m.emitBuf, support)
@@ -105,6 +123,9 @@ func (m *grower) mine(t *Tree, prefix []uint32) error {
 		return m.minePath(t, path, prefix)
 	}
 	for rk := len(t.Heads) - 1; rk >= 0; rk-- {
+		if err := m.ctl.Err(); err != nil {
+			return err
+		}
 		if t.Heads[uint32(rk)] == 0 {
 			continue
 		}

@@ -1,0 +1,190 @@
+package mine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrCanceled reports a mining run aborted by its context (explicit
+// cancellation or an exceeded deadline).
+var ErrCanceled = errors.New("mine: run canceled")
+
+// ErrBudgetExceeded reports a mining run aborted because a resource
+// budget (modeled memory bytes or emitted itemsets) was exhausted.
+var ErrBudgetExceeded = errors.New("mine: resource budget exceeded")
+
+// Control is the shared cancellation point of one mining run. Every
+// phase (build, convert, mine) and every parallel worker polls the same
+// Control, so the first stop cause — a canceled context, a blown
+// budget, or a failing sink — halts the whole run promptly, and that
+// first cause is the error the run returns. The zero value is a live,
+// unlimited control; all methods tolerate a nil receiver (treated as
+// "never stopped"), so plumbing is optional at every layer.
+type Control struct {
+	// MaxBytes, when positive, is the modeled-memory budget: the run is
+	// stopped with ErrBudgetExceeded as soon as the charged footprint
+	// (see Charge/Probe) would exceed it. Set before the run starts.
+	MaxBytes int64
+
+	stopped atomic.Bool  // fast-path flag; cause below is authoritative
+	bytes   atomic.Int64 // modeled bytes currently charged
+	mu      sync.Mutex
+	cause   error
+}
+
+// Err returns the stop cause, or nil while the run may continue. The
+// not-stopped fast path is a single atomic load, cheap enough to poll
+// from mining inner loops.
+func (c *Control) Err() error {
+	if c == nil || !c.stopped.Load() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cause
+}
+
+// Stopped reports whether the run has been stopped. It is the Err fast
+// path in callback form, for use as a traversal abort check.
+func (c *Control) Stopped() bool { return c != nil && c.stopped.Load() }
+
+// Stop records cause and stops the run. Only the first call wins:
+// later calls are no-ops, so concurrent failures always surface the
+// error that actually happened first. Reports whether this call won.
+func (c *Control) Stop(cause error) bool {
+	if c == nil || cause == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cause != nil {
+		return false
+	}
+	c.cause = cause
+	c.stopped.Store(true)
+	return true
+}
+
+// Charge adds n modeled bytes to the budget account and stops the run
+// with ErrBudgetExceeded when the total passes MaxBytes. No-op when no
+// budget is set.
+func (c *Control) Charge(n int64) {
+	if c == nil {
+		return
+	}
+	cur := c.bytes.Add(n)
+	if c.MaxBytes > 0 && cur > c.MaxBytes {
+		c.Stop(fmt.Errorf("%w: modeled memory %d B over MaxBytes %d B", ErrBudgetExceeded, cur, c.MaxBytes))
+	}
+}
+
+// Release subtracts n previously charged bytes.
+func (c *Control) Release(n int64) {
+	if c != nil {
+		c.bytes.Add(-n)
+	}
+}
+
+// Probe stops the run if the charged footprint plus extra transient
+// bytes would exceed the budget, without charging them. Phases whose
+// structures grow incrementally (the CFP-tree build) probe their
+// current extent so a runaway build is caught before its one-shot
+// Alloc at phase end.
+func (c *Control) Probe(extra int64) {
+	if c == nil || c.MaxBytes <= 0 {
+		return
+	}
+	if c.bytes.Load()+extra > c.MaxBytes {
+		c.Stop(fmt.Errorf("%w: modeled memory %d B over MaxBytes %d B", ErrBudgetExceeded, c.bytes.Load()+extra, c.MaxBytes))
+	}
+}
+
+// Watch arms the control to stop (with an error wrapping ErrCanceled)
+// when ctx is canceled or its deadline passes. It returns a release
+// function that must be called when the run ends; the watcher goroutine
+// exits on whichever comes first. An already-canceled context stops the
+// control synchronously before Watch returns.
+func (c *Control) Watch(ctx context.Context) (release func()) {
+	if c == nil || ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if err := ctx.Err(); err != nil {
+		c.Stop(fmt.Errorf("%w: %v", ErrCanceled, err))
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			c.Stop(fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx)))
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// BudgetTracker is a MemTracker that charges every allocation against
+// a Control's byte budget while forwarding to an optional inner
+// tracker. It is safe for concurrent use when Inner is (the Control
+// side is atomic).
+type BudgetTracker struct {
+	Inner MemTracker // may be nil
+	Ctl   *Control
+}
+
+// Alloc implements MemTracker.
+func (t *BudgetTracker) Alloc(n int64) {
+	t.Ctl.Charge(n)
+	if t.Inner != nil {
+		t.Inner.Alloc(n)
+	}
+}
+
+// Free implements MemTracker.
+func (t *BudgetTracker) Free(n int64) {
+	t.Ctl.Release(n)
+	if t.Inner != nil {
+		t.Inner.Free(n)
+	}
+}
+
+// ControlSink gates emissions on a Control: once the run is stopped —
+// by cancellation, a budget, or a previous emission's error — every
+// Emit fails with the stop cause without reaching the inner sink, and
+// an inner sink error stops the run itself, so no sibling worker can
+// emit after the first failure. Max, when positive, bounds the number
+// of itemsets passed through; the run stops with ErrBudgetExceeded at
+// the first itemset past the limit. For parallel miners, wrap a
+// ControlSink *inside* the SyncSink so the check-then-emit pair is
+// atomic under the sink mutex.
+type ControlSink struct {
+	Inner Sink
+	Ctl   *Control
+	Max   uint64 // max itemsets (0 = unlimited)
+	n     atomic.Uint64
+}
+
+// Emit implements Sink.
+func (s *ControlSink) Emit(items []uint32, support uint64) error {
+	if err := s.Ctl.Err(); err != nil {
+		return err
+	}
+	if s.Max > 0 && s.n.Add(1) > s.Max {
+		err := fmt.Errorf("%w: more than MaxItemsets=%d itemsets", ErrBudgetExceeded, s.Max)
+		s.Ctl.Stop(err)
+		return err
+	}
+	if err := s.Inner.Emit(items, support); err != nil {
+		s.Ctl.Stop(err)
+		return err
+	}
+	return nil
+}

@@ -45,14 +45,27 @@ type Miner struct {
 	Config core.Config
 	// Track observes modeled memory (synchronized internally).
 	Track mine.MemTracker
+	// Ctl, when non-nil, is the run's cancellation/budget point; a
+	// private one is used otherwise so first-error propagation between
+	// workers never depends on the caller wiring one up.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
 func (Miner) Name() string { return "pfp" }
 
 // Mine implements mine.Miner. Emission order is nondeterministic when
-// Workers > 1.
+// Workers > 1. As in core.ParallelGrowth, the first failure stops
+// every worker before its next shard and before its next emission, and
+// is the error returned.
 func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
+	ctl := m.Ctl
+	if ctl == nil {
+		ctl = &mine.Control{}
+	}
+	if err := ctl.Err(); err != nil {
+		return err
+	}
 	counts, err := dataset.CountItems(src)
 	if err != nil {
 		return err
@@ -96,6 +109,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	}
 	var buf []uint32
 	err = src.Scan(func(tx []dataset.Item) error {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		// Walk from the least frequent item; the first time a group is
 		// seen, it receives the prefix ending there.
@@ -154,16 +170,18 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if workers > groups {
 		workers = groups
 	}
-	ssink := sink
+	// ControlSink inside SyncSink: the stopped check and the emission
+	// are atomic under the sink mutex, so nothing is emitted after the
+	// first failure even with several workers in flight.
+	var ssink mine.Sink = &mine.ControlSink{Inner: sink, Ctl: ctl}
 	if workers > 1 {
-		ssink = &mine.SyncSink{Inner: sink}
+		ssink = &mine.SyncSink{Inner: ssink}
 	}
 	jobs := make(chan int, groups)
 	for g := 0; g < groups; g++ {
 		jobs <- g
 	}
 	close(jobs)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -171,28 +189,31 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 			defer wg.Done()
 			a := arena.New()
 			for g := range jobs {
-				if err := m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, a); err != nil {
-					errs <- err
+				// A stopped run abandons the remaining shards.
+				if ctl.Stopped() {
+					return
+				}
+				if err := m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, a, ctl); err != nil {
+					// First Stop wins even when several shards fail.
+					ctl.Stop(err)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return ctl.Err()
 }
 
 // mineShard reads one shard file, builds its CFP structures, and mines
 // the group's ranks.
-func (m Miner) mineShard(path string, group, groups, numItems int, itemName []uint32, itemCount []uint64, minSup uint64, sink mine.Sink, track mine.MemTracker, a *arena.Arena) error {
+func (m Miner) mineShard(path string, group, groups, numItems int, itemName []uint32, itemCount []uint64, minSup uint64, sink mine.Sink, track mine.MemTracker, a *arena.Arena, ctl *mine.Control) error {
 	a.Reset()
 	tree := core.NewTree(a, m.Config, itemName, itemCount)
 	if err := scanShard(path, func(tx []uint32) error {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
 		tree.Insert(tx, 1)
 		return nil
 	}); err != nil {
@@ -202,7 +223,11 @@ func (m Miner) mineShard(path string, group, groups, numItems int, itemName []ui
 		return nil
 	}
 	track.Alloc(tree.Extent())
-	arr := core.Convert(tree)
+	arr, err := core.ConvertCtl(tree, ctl)
+	if err != nil {
+		track.Free(tree.Extent())
+		return err
+	}
 	track.Free(tree.Extent())
 	a.Reset()
 	track.Alloc(arr.Bytes())
@@ -213,7 +238,7 @@ func (m Miner) mineShard(path string, group, groups, numItems int, itemName []ui
 			ranks = append(ranks, uint32(rk))
 		}
 	}
-	return core.MineArrayItems(arr, m.Config, minSup, sink, track, 0, ranks)
+	return core.MineArrayItems(arr, m.Config, minSup, sink, track, 0, ranks, ctl)
 }
 
 // shardWriter spills rank-space transactions: per transaction a varint

@@ -108,7 +108,7 @@ func (u *UpdatableIndex) Mine(minSupport uint64, fn Handler) error {
 	if u.arr == nil {
 		u.arr = core.Convert(u.tree)
 	}
-	return core.MineArray(u.arr, u.cfg, minSupport, handlerSink{fn: fn}, nil, 0)
+	return core.MineArray(u.arr, u.cfg, minSupport, handlerSink{fn: fn}, nil, 0, nil)
 }
 
 // MineAll materializes the result at minSupport.
