@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short check bench fuzz experiments examples clean
+.PHONY: all build vet lint test test-race test-debug test-short check bench fuzz experiments examples clean
 
 all: build check
 
@@ -12,18 +12,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzers (internal/analysis, driven by cmd/cfplint):
+# ptr40safe, sinkguard, errsentinel, varintbounds. Suppress a finding
+# with `//cfplint:ignore <analyzer> <reason>` on or above the line.
+lint:
+	$(GO) run ./cmd/cfplint ./...
+
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Same suites with the invariant assertions compiled in (encode/decode
+# and CFP-array boundaries panic on corruption instead of misbehaving).
+test-debug:
+	$(GO) test -tags debugchecks ./...
 
 test-short:
 	$(GO) test -short ./...
 
-test-race:
-	$(GO) test -race ./internal/core/ ./internal/pfp/ ./internal/mine/ .
-
-# The gate for every change: static analysis plus the full test suite
-# under the race detector (cancellation plumbing is concurrency-heavy).
-check: vet
+# The gate for every change: go vet, the cfplint analyzers, and the
+# full test suite under the race detector (cancellation plumbing is
+# concurrency-heavy).
+check: vet lint
 	$(GO) test -race ./...
 
 # One benchmark per paper table/figure plus the ablations.

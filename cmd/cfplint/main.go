@@ -1,0 +1,125 @@
+// Command cfplint is the repo-specific static-analysis driver: a
+// multichecker over the analyzers in internal/analysis/... that guard
+// the byte-level invariants of the CFP-tree/CFP-array layouts
+// (ptr40safe, varintbounds), the no-emission-after-stop concurrency
+// invariant (sinkguard), and sentinel-error hygiene (errsentinel).
+//
+// Usage:
+//
+//	go run ./cmd/cfplint [-tests] [-list] [packages...]
+//
+// With no arguments it checks ./... . Findings print as
+// file:line:col: message [analyzer]; the exit status is 1 when any
+// finding survives. Individual sites are suppressed with an audited
+// directive on the flagged line or the line above:
+//
+//	//cfplint:ignore <analyzer> <reason>
+//
+// Each analyzer runs over a scope matching its invariant: sinkguard
+// only applies to the mining packages (internal/core, internal/pfp,
+// internal/fptree, internal/algo/...), ptr40safe everywhere except
+// internal/encoding (which owns the raw layout), errsentinel and
+// varintbounds module-wide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/ptr40safe"
+	"cfpgrowth/internal/analysis/sinkguard"
+	"cfpgrowth/internal/analysis/varintbounds"
+)
+
+// scoped pairs an analyzer with the package scope its invariant lives
+// in.
+type scoped struct {
+	analyzer *analysis.Analyzer
+	applies  func(importPath string) bool
+}
+
+func everywhere(string) bool { return true }
+
+func anyPrefix(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+var suite = []scoped{
+	{ptr40safe.Analyzer, func(path string) bool {
+		return path != "cfpgrowth/internal/encoding"
+	}},
+	{sinkguard.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/algo",
+	)},
+	{errsentinel.Analyzer, everywhere},
+	{varintbounds.Analyzer, everywhere},
+}
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%s\n%s\n\n", s.analyzer.Name, s.analyzer.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := &analysis.Loader{Tests: *tests}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	wd, _ := os.Getwd()
+	failed := false
+	for _, pkg := range pkgs {
+		var active []*analysis.Analyzer
+		for _, s := range suite {
+			if s.applies(pkg.ImportPath) {
+				active = append(active, s.analyzer)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		findings, err := analysis.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, f := range findings {
+			failed = true
+			pos := f.Pos
+			if wd != "" {
+				if rel, ok := strings.CutPrefix(pos.Filename, wd+string(os.PathSeparator)); ok {
+					pos.Filename = rel
+				}
+			}
+			fmt.Printf("%v: %s [%s]\n", pos, f.Message, f.Analyzer)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

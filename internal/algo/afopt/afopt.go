@@ -18,6 +18,10 @@ import (
 type Miner struct {
 	// Track observes modeled memory at NodeBytes per tree node.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled during the build scan and at every
+	// emission of the shared FP-growth recursion, so a stopped run
+	// emits nothing further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // NodeBytes is the modeled per-node size: AFOPT's array-based nodes
@@ -55,6 +59,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	tree := fptree.New(itemName, itemCount)
 	var buf, rev []uint32
 	err = src.Scan(func(tx []uint32) error {
+		if err := m.Ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		rev = rev[:0]
 		for i := len(buf) - 1; i >= 0; i-- {
@@ -66,5 +73,5 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if err != nil {
 		return err
 	}
-	return fptree.MineTree(tree, minSupport, sink, m.Track, NodeBytes)
+	return fptree.MineTreeCtl(tree, minSupport, sink, m.Track, NodeBytes, 0, m.Ctl)
 }

@@ -19,6 +19,10 @@ type Miner struct {
 	// Track observes modeled memory at NodeBytes per trie node plus 4
 	// bytes per item-index entry.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled at every emission, so a stopped run
+	// (cancellation, deadline, budget, failing sink) emits nothing
+	// further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // NodeBytes is the modeled per-node size: item, count, parent,
@@ -116,7 +120,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if err != nil {
 		return err
 	}
-	g := &grower{minSup: minSupport, sink: sink, track: track}
+	g := &grower{minSup: minSupport, sink: sink, track: track, ctl: m.Ctl}
 	return g.mine(tr, nil)
 }
 
@@ -124,10 +128,14 @@ type grower struct {
 	minSup  uint64
 	sink    mine.Sink
 	track   mine.MemTracker
+	ctl     *mine.Control // nil = never canceled
 	emitBuf []uint32
 }
 
 func (g *grower) emit(prefix []uint32, support uint64) error {
+	if err := g.ctl.Err(); err != nil {
+		return err
+	}
 	g.emitBuf = append(g.emitBuf[:0], prefix...)
 	sort.Slice(g.emitBuf, func(i, j int) bool { return g.emitBuf[i] < g.emitBuf[j] })
 	return g.sink.Emit(g.emitBuf, support)

@@ -17,6 +17,10 @@ import (
 type ClosedMiner struct {
 	// Track observes modeled memory (tidlists).
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled during the vertical build and at
+	// every closure expansion, so a stopped run emits nothing further
+	// and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -49,6 +53,9 @@ func (m ClosedMiner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink)
 	var numTx uint32
 	var buf []uint32
 	err = src.Scan(func(tx []dataset.Item) error {
+		if err := m.Ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		for _, rk := range buf {
 			tids[rk] = append(tids[rk], numTx)
@@ -70,6 +77,7 @@ func (m ClosedMiner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink)
 		minSup: minSupport,
 		sink:   sink,
 		track:  track,
+		ctl:    m.Ctl,
 		rec:    rec,
 		tids:   tids,
 		n:      n,
@@ -88,6 +96,7 @@ type closedMiner struct {
 	minSup uint64
 	sink   mine.Sink
 	track  mine.MemTracker
+	ctl    *mine.Control // nil = never canceled
 	rec    *dataset.Recoder
 	tids   [][]uint32
 	n      int
@@ -129,6 +138,9 @@ func containsAll(superset, sub []uint32) bool {
 // closure, used only for documentation of the recursion; correctness
 // rests on the ppc check below.
 func (c *closedMiner) expand(T []uint32, prevClosure []uint32, core int) error {
+	if err := c.ctl.Err(); err != nil {
+		return err
+	}
 	clo := c.closure(T)
 	// ppc-extension check: if the closure gained an item smaller than
 	// the core item, this closed set is generated (with a smaller

@@ -22,6 +22,10 @@ type Miner struct {
 	// the initial build (6 bytes per item occurrence, the paper's
 	// storage estimate in §4.1), plus NodeEntrySize per array node.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled at every emission, so a stopped run
+	// (cancellation, deadline, budget, failing sink) emits nothing
+	// further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // NodeEntrySize is the modeled per-node array cost: item, count,
@@ -100,7 +104,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 		track.Free(dataBytes)
 		return err
 	}
-	g := &grower{minSup: minSupport, sink: sink, track: track}
+	g := &grower{minSup: minSupport, sink: sink, track: track, ctl: m.Ctl}
 	err = g.mineTree(tree, nil)
 	track.Free(dataBytes)
 	return err
@@ -110,10 +114,14 @@ type grower struct {
 	minSup  uint64
 	sink    mine.Sink
 	track   mine.MemTracker
+	ctl     *mine.Control // nil = never canceled
 	emitBuf []uint32
 }
 
 func (g *grower) emit(prefix []uint32, support uint64) error {
+	if err := g.ctl.Err(); err != nil {
+		return err
+	}
 	g.emitBuf = append(g.emitBuf[:0], prefix...)
 	sort.Slice(g.emitBuf, func(i, j int) bool { return g.emitBuf[i] < g.emitBuf[j] })
 	return g.sink.Emit(g.emitBuf, support)

@@ -22,6 +22,10 @@ type Miner struct {
 	// Track observes modeled memory consumption: BaselineNodeSize per
 	// node while a build tree is alive, EntrySize per node per array.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled at every emission, so a stopped run
+	// (cancellation, deadline, budget, failing sink) emits nothing
+	// further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // EntrySize is the modeled per-node size of the mine-phase arrays: a
@@ -96,7 +100,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if err != nil {
 		return err
 	}
-	g := &grower{minSup: minSupport, sink: sink, track: track}
+	g := &grower{minSup: minSupport, sink: sink, track: track, ctl: m.Ctl}
 	return g.mineTree(tree, nil)
 }
 
@@ -104,10 +108,14 @@ type grower struct {
 	minSup  uint64
 	sink    mine.Sink
 	track   mine.MemTracker
+	ctl     *mine.Control // nil = never canceled
 	emitBuf []uint32
 }
 
 func (g *grower) emit(prefix []uint32, support uint64) error {
+	if err := g.ctl.Err(); err != nil {
+		return err
+	}
 	g.emitBuf = append(g.emitBuf[:0], prefix...)
 	sort.Slice(g.emitBuf, func(i, j int) bool { return g.emitBuf[i] < g.emitBuf[j] })
 	return g.sink.Emit(g.emitBuf, support)

@@ -32,6 +32,10 @@ type Miner struct {
 	Seed int64
 	// Track observes modeled memory of the sample-mining phase.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled at every emission, so a stopped run
+	// (cancellation, deadline, budget, failing sink) emits nothing
+	// further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -184,6 +188,9 @@ func (m Miner) mine(src dataset.Source, minSupport uint64, sink mine.Sink, certi
 			sup = tries[len(s.Items)].lookup(s.Items)
 		}
 		if sup >= minSupport {
+			if err := m.Ctl.Err(); err != nil {
+				return false, err
+			}
 			if err := sink.Emit(s.Items, sup); err != nil {
 				return false, err
 			}

@@ -22,6 +22,10 @@ type Miner struct {
 	// baseline node size for the whole run, plus 8 bytes per live
 	// occurrence entry.
 	Track mine.MemTracker
+	// Ctl, when non-nil, is polled at every emission, so a stopped run
+	// (cancellation, deadline, budget, failing sink) emits nothing
+	// further and aborts with its cause.
+	Ctl *mine.Control
 }
 
 // OccEntrySize is the modeled size of one occurrence (node reference
@@ -75,7 +79,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	treeBytes := tree.BaselineBytes()
 	track.Alloc(treeBytes)
 	defer track.Free(treeBytes)
-	g := &grower{t: tree, minSup: minSupport, sink: sink, track: track}
+	g := &grower{t: tree, minSup: minSupport, sink: sink, track: track, ctl: m.Ctl}
 	// Top level: each item's occurrences are its nodelink chain.
 	for rk := n - 1; rk >= 0; rk-- {
 		sup := tree.ItemCount[rk]
@@ -101,10 +105,14 @@ type grower struct {
 	minSup  uint64
 	sink    mine.Sink
 	track   mine.MemTracker
+	ctl     *mine.Control // nil = never canceled
 	emitBuf []uint32
 }
 
 func (g *grower) emit(prefix []uint32, support uint64) error {
+	if err := g.ctl.Err(); err != nil {
+		return err
+	}
 	g.emitBuf = append(g.emitBuf[:0], prefix...)
 	sort.Slice(g.emitBuf, func(i, j int) bool { return g.emitBuf[i] < g.emitBuf[j] })
 	return g.sink.Emit(g.emitBuf, support)

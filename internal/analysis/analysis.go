@@ -1,0 +1,149 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. It
+// exists because this module is dependency-free by policy; the API is
+// kept deliberately close to the upstream one (Analyzer.Name/Doc/Run,
+// Pass.Fset/Files/Pkg/TypesInfo, Pass.Reportf) so the repo-specific
+// analyzers under internal/analysis/... could be ported to the real
+// framework by changing imports only.
+//
+// Differences from x/tools: no Facts, no Requires graph, no
+// SuggestedFixes, and Run returns only an error. Suppression is
+// supported through line directives:
+//
+//	//cfplint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The reason
+// is mandatory; a directive without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static-analysis rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //cfplint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by cfplint -help: the
+	// invariant the analyzer guards and why it matters.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer to the single type-checked package it is
+// being applied to.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Uses resolves e (an identifier or selector expression, possibly
+// parenthesized) to the object it refers to, or nil.
+func Uses(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// IsPkgObj reports whether e refers to the package-level object
+// pkgPath.name.
+func IsPkgObj(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	obj := Uses(info, e)
+	return obj != nil && obj.Name() == name &&
+		obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// Callee returns the called function or method of call, or nil for
+// calls through function values, built-ins, and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := Uses(info, call.Fun).(*types.Func)
+	return fn
+}
+
+// IsByteSlice reports whether the type of e is []byte (possibly through
+// a named type).
+func IsByteSlice(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// IsByte reports whether the type of e is byte/uint8 (possibly named).
+func IsByte(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// WalkStack traverses root in depth-first order, invoking fn with each
+// node and the stack of its ancestors (outermost first, not including
+// n itself). It is the parent-aware variant of ast.Inspect that
+// context-sensitive rules need.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// FuncDecls yields every function declaration with a body in the pass,
+// the granularity at which path-sensitive rules (sinkguard,
+// varintbounds) approximate "on the same path": a check anywhere
+// earlier in the same declaration, including inside nested function
+// literals, satisfies them.
+func (p *Pass) FuncDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// toy flags every integer literal 42 — enough surface to exercise
+// suppression, missing-reason, and staleness handling end to end.
+var toy = &Analyzer{
+	Name: "toy",
+	Doc:  "flags the literal 42",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "42" {
+					pass.Reportf(lit.Pos(), "literal 42")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestDirectives(t *testing.T) {
+	pkg, err := LoadFixture("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkg, []*Analyzer{toy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "directives.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i, line := range strings.Split(string(src), "\n") {
+		n := i + 1
+		switch {
+		case strings.Contains(line, "MARK:flagged"):
+			want = append(want, fmt.Sprintf("toy:%d:literal 42", n))
+		case strings.TrimSpace(line) == "//cfplint:ignore toy":
+			want = append(want, fmt.Sprintf("cfplint:%d://cfplint:ignore directive without a reason", n))
+		case strings.Contains(line, "MARK:stale"):
+			want = append(want, fmt.Sprintf("cfplint:%d://cfplint:ignore directive suppresses nothing (stale?)", n))
+		}
+	}
+
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Analyzer+":"+strconv.Itoa(f.Pos.Line)+":"+f.Message)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings %v, want %d %v", len(got), got, len(want), want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", w, got)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture type-checks the fixture package in dir (all non-test .go
+// files, typically under testdata/), runs analyzer a on it, and
+// compares the diagnostics against the fixture's expectations — the
+// analysistest convention:
+//
+//	b[0] = 0xFF // want `magic 0xFF`
+//
+// Every `want` regexp must be matched by a diagnostic on its line, and
+// every diagnostic must be claimed by a want. Fixtures may exercise
+// //cfplint:ignore directives; suppressed diagnostics need no want,
+// and a fixture directive is exempt from the stale-directive check
+// only through a want of its own.
+//
+// Fixture files import real module packages (e.g.
+// cfpgrowth/internal/mine); they resolve through the source importer's
+// module-aware lookup, so fixtures exercise the same object-identity
+// checks as production runs.
+func RunFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, pkg, findings)
+}
+
+// LoadFixture parses and type-checks the single package rooted at dir.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("fixture", fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{ImportPath: "fixture", Dir: dir, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// wantRe extracts the quoted regexps of a want comment. Both `...`
+// and "..." quoting are accepted.
+var wantRe = regexp.MustCompile("// *want *((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\") *)+)")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants cross-checks findings against want comments.
+func checkWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package errsentinel guards how the mining sentinels ErrCanceled and
+// ErrBudgetExceeded travel through the codebase. Since PR 1 every
+// layer wraps the stop cause with %w and callers classify it with
+// errors.Is; a single == comparison or error-string match anywhere in
+// the chain silently breaks classification the moment a wrapper adds
+// context (which Control.Stop already does).
+package errsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the errsentinel rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc: `requires mine.ErrCanceled / mine.ErrBudgetExceeded to be
+wrapped with %w and classified with errors.Is — never compared with
+== / != / switch cases, and never matched by error string`,
+	Run: run,
+}
+
+const minePath = "cfpgrowth/internal/mine"
+
+// isSentinel reports whether e refers to one of the mining sentinels.
+func isSentinel(pass *analysis.Pass, e ast.Expr) bool {
+	return analysis.IsPkgObj(pass.TypesInfo, e, minePath, "ErrCanceled") ||
+		analysis.IsPkgObj(pass.TypesInfo, e, minePath, "ErrBudgetExceeded")
+}
+
+// sentinelWords matches string literals that smell like an attempt to
+// recognize a sentinel by message.
+var sentinelWords = regexp.MustCompile(`(?i)cancel|budget`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkCompare(pass, n)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+				checkStringMatch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCompare flags == / != against a sentinel, and string-compares
+// of err.Error() against sentinel-looking literals.
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isSentinel(pass, be.X) || isSentinel(pass, be.Y) {
+		pass.Reportf(be.OpPos, "sentinel compared with %s: use errors.Is (wrapped causes never compare equal)", be.Op)
+		return
+	}
+	for lit, other := range map[ast.Expr]ast.Expr{be.X: be.Y, be.Y: be.X} {
+		if isSentinelString(lit) && isErrorCall(pass, other) {
+			pass.Reportf(be.OpPos, "sentinel matched by error string: use errors.Is")
+			return
+		}
+	}
+}
+
+// checkSwitch flags `switch err { case mine.ErrCanceled: }`, which is
+// == in disguise.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, v := range cc.List {
+			if isSentinel(pass, v) {
+				pass.Reportf(v.Pos(), "sentinel in switch case compares with ==: use errors.Is")
+			}
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that pass a sentinel without a %w
+// verb in the format: the result would not satisfy errors.Is.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	carries := false
+	for _, arg := range call.Args[1:] {
+		if isSentinel(pass, arg) {
+			carries = true
+			break
+		}
+	}
+	if !carries {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamic format: out of scope
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	pass.Reportf(call.Pos(), "sentinel passed to fmt.Errorf without %%w: wrapped error will not satisfy errors.Is")
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix applied
+// to err.Error() with a sentinel-looking pattern.
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix":
+	default:
+		return
+	}
+	if len(call.Args) != 2 {
+		return
+	}
+	if isErrorCall(pass, call.Args[0]) && isSentinelString(call.Args[1]) {
+		pass.Reportf(call.Pos(), "sentinel matched by error string: use errors.Is")
+	}
+}
+
+// isErrorCall reports whether e is a call of the Error() string method
+// of the error interface (or any type's Error() string).
+func isErrorCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1
+}
+
+// isSentinelString reports whether e is a string literal containing a
+// sentinel-looking word.
+func isSentinelString(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return err == nil && sentinelWords.MatchString(s)
+}

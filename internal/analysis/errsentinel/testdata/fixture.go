@@ -1,0 +1,68 @@
+// Fixture for the errsentinel analyzer: sentinel classification done
+// wrong (flagged) and right (accepted).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cfpgrowth/internal/mine"
+)
+
+// compareEq classifies with ==, which breaks as soon as the sentinel
+// is wrapped.
+func compareEq(err error) bool {
+	return err == mine.ErrCanceled // want `sentinel compared with ==: use errors.Is`
+}
+
+// compareNeq is the != spelling.
+func compareNeq(err error) bool {
+	return err != mine.ErrBudgetExceeded // want `sentinel compared with !=: use errors.Is`
+}
+
+// goodIs classifies with errors.Is.
+func goodIs(err error) bool {
+	return errors.Is(err, mine.ErrCanceled) || errors.Is(err, mine.ErrBudgetExceeded)
+}
+
+// switchCase is == in disguise.
+func switchCase(err error) string {
+	switch err {
+	case mine.ErrCanceled: // want `sentinel in switch case compares with ==: use errors.Is`
+		return "canceled"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+// wrapNoVerb drops the sentinel from the error chain.
+func wrapNoVerb(n int) error {
+	return fmt.Errorf("run stopped after %d itemsets: %v", n, mine.ErrBudgetExceeded) // want `sentinel passed to fmt.Errorf without %w`
+}
+
+// goodWrap keeps the chain intact.
+func goodWrap(n int) error {
+	return fmt.Errorf("%w: after %d itemsets", mine.ErrBudgetExceeded, n)
+}
+
+// goodPlainErrorf formats unrelated errors however it likes.
+func goodPlainErrorf(path string, err error) error {
+	return fmt.Errorf("open %s: %v", path, err)
+}
+
+// stringMatch recognizes the sentinel by message.
+func stringMatch(err error) bool {
+	return strings.Contains(err.Error(), "canceled") // want `sentinel matched by error string: use errors.Is`
+}
+
+// stringCompare is the == spelling of the same mistake.
+func stringCompare(err error) bool {
+	return err.Error() == "mine: resource budget exceeded" // want `sentinel matched by error string: use errors.Is`
+}
+
+// goodStringUse may mention sentinel words in unrelated strings.
+func goodStringUse(s string) bool {
+	return strings.Contains(s, "budget")
+}

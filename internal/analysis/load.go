@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// A Loader expands package patterns (via `go list`) and type-checks the
+// result. Type information for dependencies comes from the compiler's
+// source importer, so loading works offline and without build
+// artifacts; the one external requirement is the go tool itself.
+type Loader struct {
+	// Dir is the directory patterns are resolved in (the module root or
+	// any directory below it). Empty means the current directory.
+	Dir string
+	// Tests includes in-package _test.go files (external foo_test
+	// packages are never loaded).
+	Tests bool
+
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+}
+
+// Load expands patterns and returns the matched packages, parsed and
+// type-checked, in `go list` order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	l.fset = token.NewFileSet()
+	// One importer for the whole load: dependencies reached from
+	// several target packages are type-checked from source only once.
+	l.imp = importer.ForCompiler(l.fset, "source", nil)
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		files := lp.GoFiles
+		if l.Tests {
+			files = append(files[:len(files):len(files)], lp.TestGoFiles...)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package given its file names
+// (relative to dir).
+func (l *Loader) check(importPath, dir string, fileNames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with all the maps the analyzers
+// consume populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

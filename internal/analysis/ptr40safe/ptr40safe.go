@@ -1,0 +1,207 @@
+// Package ptr40safe guards the 40-bit-pointer slot format of the
+// CFP-tree (paper §3.3): pointer slots are 5 bytes wide, their high
+// byte doubles as the embedded-leaf presence marker 0xFF, and the
+// arena never hands out offsets whose high byte is 0xFF. Those three
+// facts are encoded once, in cfpgrowth/internal/encoding
+// (Ptr40Len, Ptr40EmbedMarker, PutPtr40/Ptr40); every other package
+// must go through the named constants and accessors. A literal 5 or
+// 0xFF that silently disagrees with the format is exactly the class of
+// corruption a compressed layout cannot detect at runtime.
+package ptr40safe
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the ptr40safe rule. The driver applies it to every
+// package except cfpgrowth/internal/encoding itself.
+var Analyzer = &analysis.Analyzer{
+	Name: "ptr40safe",
+	Doc: `flags raw slot-buffer arithmetic outside internal/encoding:
+magic 0xFF byte comparisons/stores (use encoding.Ptr40EmbedMarker),
+hardcoded 5-byte slot widths in []byte slice bounds or offset advances
+inside functions that already use the Ptr40 accessors (use
+encoding.Ptr40Len), and manual 40-bit big-endian assembly or
+disassembly (use encoding.Ptr40 / encoding.PutPtr40)`,
+	Run: run,
+}
+
+const encodingPath = "cfpgrowth/internal/encoding"
+
+// ptr40Names are the encoding-package objects whose use marks a
+// function as slot-handling code.
+var ptr40Names = map[string]bool{
+	"Ptr40":            true,
+	"PutPtr40":         true,
+	"Ptr40Len":         true,
+	"Ptr40EmbedMarker": true,
+	"MaxPtr40":         true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range pass.FuncDecls() {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+// usesPtr40 reports whether the function body references any Ptr40
+// accessor or constant.
+func usesPtr40(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == encodingPath && ptr40Names[obj.Name()] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// intLit returns the value of an integer literal expression and
+// whether e is one.
+func intLit(e ast.Expr) (int64, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	slotCtx := usesPtr40(pass, fd.Body)
+	analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkMarkerCompare(pass, n)
+			checkAssembly(pass, n)
+		case *ast.AssignStmt:
+			checkMarkerStore(pass, n)
+			if slotCtx {
+				checkWidthAdvance(pass, n)
+			}
+		case *ast.SliceExpr:
+			if slotCtx {
+				checkWidthSlice(pass, n)
+			}
+		case *ast.CallExpr:
+			checkDisassembly(pass, n)
+		}
+	})
+}
+
+// checkMarkerCompare flags `b == 0xFF` / `b != 0xFF` on byte operands.
+func checkMarkerCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for lit, other := range map[ast.Expr]ast.Expr{be.X: be.Y, be.Y: be.X} {
+		if v, ok := intLit(lit); ok && v == 0xFF && analysis.IsByte(pass.TypesInfo, other) {
+			pass.Reportf(lit.Pos(), "magic 0xFF compared against a byte: use encoding.Ptr40EmbedMarker")
+			return
+		}
+	}
+}
+
+// checkMarkerStore flags `b[i] = 0xFF` where the target is a byte.
+func checkMarkerStore(pass *analysis.Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if v, ok := intLit(rhs); ok && v == 0xFF && analysis.IsByte(pass.TypesInfo, as.Lhs[i]) {
+			pass.Reportf(rhs.Pos(), "magic 0xFF stored into a byte: use encoding.Ptr40EmbedMarker")
+		}
+	}
+}
+
+// checkWidthSlice flags a []byte slice expression whose bound embeds a
+// literal 5 (the pattern b[pos : pos+5]) in slot-handling code.
+func checkWidthSlice(pass *analysis.Pass, se *ast.SliceExpr) {
+	if !analysis.IsByteSlice(pass.TypesInfo, se.X) {
+		return
+	}
+	for _, bound := range []ast.Expr{se.Low, se.High, se.Max} {
+		if bound == nil {
+			continue
+		}
+		if be, ok := ast.Unparen(bound).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+			for _, op := range []ast.Expr{be.X, be.Y} {
+				if v, ok := intLit(op); ok && v == 5 {
+					pass.Reportf(op.Pos(), "hardcoded 5-byte slot width in slice bound: use encoding.Ptr40Len")
+				}
+			}
+		}
+	}
+}
+
+// checkWidthAdvance flags `pos += 5` in slot-handling code.
+func checkWidthAdvance(pass *analysis.Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ADD_ASSIGN || len(as.Rhs) != 1 {
+		return
+	}
+	if v, ok := intLit(as.Rhs[0]); ok && v == 5 {
+		pass.Reportf(as.Rhs[0].Pos(), "hardcoded 5-byte slot advance: use encoding.Ptr40Len")
+	}
+}
+
+// checkAssembly flags manual 40-bit big-endian (dis)assembly: a shift
+// by 32 whose operand involves indexing a []byte (read side,
+// uint64(b[0])<<32|...), or a byte(...) conversion of a >>32 shift
+// (write side, b[0] = byte(v>>32)).
+func checkAssembly(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.SHL && be.Op != token.SHR {
+		return
+	}
+	if v, ok := intLit(be.Y); !ok || v != 32 {
+		return
+	}
+	if be.Op == token.SHL && indexesByteSlice(pass, be.X) {
+		pass.Reportf(be.Pos(), "manual 40-bit pointer read from a byte buffer: use encoding.Ptr40")
+	}
+}
+
+// checkDisassembly flags the write side of manual assembly: a byte(..)
+// conversion of a >>32 shift, the high-byte store of PutPtr40 done by
+// hand.
+func checkDisassembly(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || !analysis.IsByte(pass.TypesInfo, call.Fun) {
+		return
+	}
+	if be, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr); ok && be.Op == token.SHR {
+		if v, ok := intLit(be.Y); ok && v == 32 {
+			pass.Reportf(call.Pos(), "manual 40-bit pointer write into a byte buffer: use encoding.PutPtr40")
+		}
+	}
+}
+
+// indexesByteSlice reports whether e contains an index expression over
+// a []byte.
+func indexesByteSlice(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok && analysis.IsByteSlice(pass.TypesInfo, ix.X) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

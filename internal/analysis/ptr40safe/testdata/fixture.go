@@ -1,0 +1,77 @@
+// Fixture for the ptr40safe analyzer: slot-buffer code that bypasses
+// the encoding accessors (flagged) next to code that goes through them
+// (accepted).
+package fixture
+
+import "cfpgrowth/internal/encoding"
+
+// rawMarkerCompare tests a slot header byte against a literal 0xFF.
+func rawMarkerCompare(b []byte) bool {
+	return b[0] == 0xFF // want `magic 0xFF compared against a byte: use encoding.Ptr40EmbedMarker`
+}
+
+// rawMarkerStore writes the embed marker as a literal.
+func rawMarkerStore(b []byte) {
+	b[0] = 0xFF // want `magic 0xFF stored into a byte: use encoding.Ptr40EmbedMarker`
+}
+
+// goodMarker goes through the named constant.
+func goodMarker(b []byte) bool {
+	if b[0] != encoding.Ptr40EmbedMarker {
+		b[0] = encoding.Ptr40EmbedMarker
+	}
+	return b[0] == encoding.Ptr40EmbedMarker
+}
+
+// intMarkerCompare compares 0xFF against a plain int — not a slot
+// byte, accepted.
+func intMarkerCompare(v int) bool {
+	return v == 0xFF
+}
+
+// rawWidth advances through a slot buffer with hardcoded widths in a
+// function that is already Ptr40-aware.
+func rawWidth(b []byte) uint64 {
+	pos := 0
+	v := encoding.Ptr40(b[pos : pos+5]) // want `hardcoded 5-byte slot width in slice bound: use encoding.Ptr40Len`
+	pos += 5                            // want `hardcoded 5-byte slot advance: use encoding.Ptr40Len`
+	return v
+}
+
+// goodWidth uses the named width.
+func goodWidth(b []byte) uint64 {
+	pos := 0
+	v := encoding.Ptr40(b[pos : pos+encoding.Ptr40Len])
+	pos += encoding.Ptr40Len
+	_ = pos
+	return v
+}
+
+// unrelatedFive takes five bytes of a buffer in a function with no
+// Ptr40 context — accepted, the width rule is scoped to slot code.
+func unrelatedFive(b []byte, pos int) []byte {
+	return b[pos : pos+5]
+}
+
+// rawAssemble rebuilds a 40-bit pointer by hand.
+func rawAssemble(b []byte) uint64 {
+	return uint64(b[0])<<32 | uint64(b[1])<<24 | uint64(b[2])<<16 | // want `manual 40-bit pointer read from a byte buffer: use encoding.Ptr40`
+		uint64(b[3])<<8 | uint64(b[4])
+}
+
+// rawDisassemble stores the high byte of a 40-bit pointer by hand.
+func rawDisassemble(b []byte, v uint64) {
+	b[0] = byte(v >> 32) // want `manual 40-bit pointer write into a byte buffer: use encoding.PutPtr40`
+}
+
+// goodAccessors round-trips through the accessors.
+func goodAccessors(b []byte, v uint64) uint64 {
+	encoding.PutPtr40(b, v)
+	return encoding.Ptr40(b)
+}
+
+// suppressed shows an audited escape hatch.
+func suppressed(b []byte) bool {
+	//cfplint:ignore ptr40safe fixture: demonstrates an audited suppression
+	return b[0] == 0xFF
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Finding is one resolved diagnostic: a position, the analyzer that
+// produced it, and the message. Diagnostics suppressed by an ignore
+// directive are dropped before they become Findings.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignoreRe matches a suppression directive. The reason group is what
+// makes a suppression auditable; it must be non-empty.
+var ignoreRe = regexp.MustCompile(`^//cfplint:ignore\s+([A-Za-z0-9_,]+)\s*(.*)$`)
+
+// directive is one parsed //cfplint:ignore comment.
+type directive struct {
+	names  map[string]bool
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// covers reports whether the directive suppresses a diagnostic of the
+// named analyzer at pos: same file, on the flagged line or the line
+// directly above it.
+func (d *directive) covers(name string, pos token.Position) bool {
+	return d.names[name] && d.reason != "" && d.pos.Filename == pos.Filename &&
+		(d.pos.Line == pos.Line || d.pos.Line == pos.Line-1)
+}
+
+// Run applies analyzers to pkg and returns the surviving findings
+// sorted by position. Directive problems (a missing reason, a
+// directive that suppressed nothing) are reported as findings of the
+// pseudo-analyzer "cfplint" so that stale suppressions rot loudly, not
+// silently.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	dirs := collectDirectives(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, dir := range dirs {
+				if dir.covers(name, pos) {
+					dir.used = true
+					return
+				}
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, d := range dirs {
+		switch {
+		case d.reason == "":
+			findings = append(findings, Finding{
+				Analyzer: "cfplint",
+				Pos:      d.pos,
+				Message:  "//cfplint:ignore directive without a reason",
+			})
+		case !d.used && anyKnown(d.names, known):
+			findings = append(findings, Finding{
+				Analyzer: "cfplint",
+				Pos:      d.pos,
+				Message:  "//cfplint:ignore directive suppresses nothing (stale?)",
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// anyKnown reports whether the directive names at least one analyzer of
+// the current run; directives for analyzers that did not run are left
+// alone rather than flagged as stale.
+func anyKnown(names, known map[string]bool) bool {
+	for n := range names {
+		if known[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //cfplint:ignore comment in pkg.
+func collectDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				d := &directive{
+					names:  make(map[string]bool),
+					reason: strings.TrimSpace(m[2]),
+					pos:    pkg.Fset.Position(c.Slash),
+				}
+				for _, n := range strings.Split(m[1], ",") {
+					d.names[n] = true
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

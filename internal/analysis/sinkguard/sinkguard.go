@@ -1,0 +1,126 @@
+// Package sinkguard enforces the PR 1 concurrency invariant: once a
+// mining run's mine.Control is stopped — by cancellation, a blown
+// budget, or a failing sink — no further itemsets may be emitted.
+// Mechanically: every function that calls a Sink's Emit method must
+// poll the control (Control.Err or Control.Stopped) earlier in that
+// same function, so each emission site sits behind a stop check on its
+// own path.
+//
+// The "same path" condition is approximated lexically: a stop check
+// anywhere earlier (by source position) in the same function
+// declaration, including inside nested function literals, satisfies
+// the rule. This accepts a guard at function entry and the
+// check-then-emit idiom of the emit helpers; a function that emits
+// without ever consulting a control is exactly the bug class PR 1
+// fixed in the parallel miner and cannot pass.
+package sinkguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the sinkguard rule. The driver applies it to the mining
+// packages (internal/core, internal/pfp, internal/fptree,
+// internal/algo/...); package internal/mine itself, which implements
+// the checked sinks, is exempt.
+var Analyzer = &analysis.Analyzer{
+	Name: "sinkguard",
+	Doc: `requires every function calling Sink.Emit to poll a
+mine.Control (Err or Stopped) earlier in the same function, so no
+itemset is emitted after the run has been stopped`,
+	Run: run,
+}
+
+const minePath = "cfpgrowth/internal/mine"
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range pass.FuncDecls() {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var emits []*ast.CallExpr
+	var checks []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case isSinkEmit(fn):
+			emits = append(emits, call)
+		case isControlCheck(fn):
+			checks = append(checks, call.Pos())
+		}
+		return true
+	})
+	for _, e := range emits {
+		guarded := false
+		for _, c := range checks {
+			if c < e.Pos() {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(e.Pos(), "Sink.Emit without a preceding mine.Control stop-check (Err/Stopped) in this function")
+		}
+	}
+}
+
+// isSinkEmit reports whether fn is an Emit method with the mine.Sink
+// signature func([]uint32, uint64) error — matching by shape rather
+// than by named interface so that emissions through concrete sink
+// types are caught too.
+func isSinkEmit(fn *types.Func) bool {
+	if fn.Name() != "Emit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	sl, ok := sig.Params().At(0).Type().Underlying().(*types.Slice)
+	if !ok || !isBasic(sl.Elem(), types.Uint32) {
+		return false
+	}
+	if !isBasic(sig.Params().At(1).Type(), types.Uint64) {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isControlCheck reports whether fn is (*mine.Control).Err or
+// (*mine.Control).Stopped.
+func isControlCheck(fn *types.Func) bool {
+	if fn.Name() != "Err" && fn.Name() != "Stopped" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Control" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == minePath
+}
+
+func isBasic(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

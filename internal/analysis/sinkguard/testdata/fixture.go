@@ -1,0 +1,74 @@
+// Fixture for the sinkguard analyzer: emission sites with and without
+// a preceding mine.Control stop-check.
+package fixture
+
+import "cfpgrowth/internal/mine"
+
+type miner struct {
+	sink mine.Sink
+	ctl  *mine.Control
+}
+
+// emitUnguarded emits without ever consulting the control.
+func (m *miner) emitUnguarded(items []uint32, sup uint64) error {
+	return m.sink.Emit(items, sup) // want `Sink.Emit without a preceding mine.Control stop-check`
+}
+
+// emitGuarded is the canonical check-then-emit helper.
+func (m *miner) emitGuarded(items []uint32, sup uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
+	return m.sink.Emit(items, sup)
+}
+
+// emitGuardedStopped uses the callback-shaped fast path.
+func (m *miner) emitGuardedStopped(items []uint32, sup uint64) error {
+	if m.ctl.Stopped() {
+		return m.ctl.Err()
+	}
+	return m.sink.Emit(items, sup)
+}
+
+// emitCheckAfter polls the control only after emitting — the emission
+// itself is on an unguarded path, so it is still flagged.
+func (m *miner) emitCheckAfter(items []uint32, sup uint64) error {
+	if err := m.sink.Emit(items, sup); err != nil { // want `Sink.Emit without a preceding mine.Control stop-check`
+		return err
+	}
+	return m.ctl.Err()
+}
+
+// emitInLoop shows an entry guard covering emissions in nested
+// control flow, including function literals.
+func (m *miner) emitInLoop(sets [][]uint32, sup uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
+	for _, s := range sets {
+		f := func() error { return m.sink.Emit(s, sup) }
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concreteSink checks that emission through a concrete sink type (not
+// the interface) is caught by the signature match.
+type countSink struct{ n int }
+
+func (c *countSink) Emit(items []uint32, sup uint64) error {
+	c.n++
+	return nil
+}
+
+func feedConcrete(c *countSink, items []uint32) error {
+	return c.Emit(items, 1) // want `Sink.Emit without a preceding mine.Control stop-check`
+}
+
+// helperCall calls a guarded helper rather than Emit itself — the
+// helper checks on every call, so the caller is accepted.
+func (m *miner) helperCall(items []uint32, sup uint64) error {
+	return m.emitGuarded(items, sup)
+}

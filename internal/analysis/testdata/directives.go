@@ -1,0 +1,33 @@
+// Fixture for the framework's directive handling, exercised with a
+// toy analyzer that flags every integer literal 42. The companion test
+// asserts the finding set programmatically (want comments cannot
+// express diagnostics about the directives themselves).
+package fixture
+
+func flaggedPlain() int {
+	return 42 // MARK:flagged
+}
+
+func suppressedSameLine() int {
+	return 42 //cfplint:ignore toy the same-line form
+}
+
+func suppressedLineAbove() int {
+	//cfplint:ignore toy the line-above form
+	return 42
+}
+
+func missingReason() int {
+	//cfplint:ignore toy
+	return 42 // MARK:flagged
+}
+
+func staleDirective() int {
+	//cfplint:ignore toy nothing here to suppress MARK:stale
+	return 7
+}
+
+func foreignDirective() int {
+	//cfplint:ignore someothertool not our business
+	return 7
+}

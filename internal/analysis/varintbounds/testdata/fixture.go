@@ -1,0 +1,62 @@
+// Fixture for the varintbounds analyzer: varint reads that can and
+// cannot notice a truncated buffer.
+package fixture
+
+import "cfpgrowth/internal/encoding"
+
+// discarded throws the length away; truncation becomes value 0.
+func discarded(b []byte) uint64 {
+	v, _ := encoding.Uvarint(b) // want `varint length result discarded with _`
+	return v
+}
+
+// unchecked advances by a length it never inspects: n == 0 on a
+// truncated buffer turns the caller's scan into an infinite loop.
+func unchecked(b []byte) (uint64, uint64) {
+	a, n := encoding.Uvarint(b) // want `varint length n is never checked in this function`
+	c, _ := encoding.Uvarint(b[n:]) // want `varint length result discarded with _`
+	return a, c
+}
+
+// checked validates the length before trusting anything.
+func checked(b []byte) (uint64, int, bool) {
+	v, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v, n, true
+}
+
+// batchChecked decodes a full triple and validates the three lengths
+// together — the sequential-decode idiom the rule accepts.
+func batchChecked(b []byte) (uint64, uint64, uint64, bool) {
+	d, n1 := encoding.Uvarint(b)
+	z, n2 := encoding.Uvarint(b[n1:])
+	c, n3 := encoding.Uvarint(b[n1+n2:])
+	if n1 <= 0 || n2 <= 0 || n3 <= 0 {
+		return 0, 0, 0, false
+	}
+	return d, z, c, true
+}
+
+// skipped must check SkipUvarint's length too.
+func skipped(b []byte) int {
+	n := encoding.SkipUvarint(b) // want `varint length n is never checked in this function`
+	return n + 1
+}
+
+// skipChecked is the accepted form.
+func skipChecked(b []byte) (int, bool) {
+	n := encoding.SkipUvarint(b)
+	if n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// trusted runs behind a validated trust boundary and says so.
+func trusted(b []byte) uint64 {
+	//cfplint:ignore varintbounds fixture: buffer validated upstream
+	v, _ := encoding.Uvarint(b)
+	return v
+}

@@ -1,0 +1,134 @@
+// Package varintbounds guards decoding of the (Δitem, Δpos, count)
+// varint triples (paper §3.4–3.5). encoding.Uvarint signals a
+// truncated buffer only through its length result (n == 0, or n < 0
+// for overflow) — the value result is then meaningless, and advancing
+// a cursor by a non-positive n turns a scan loop into an infinite
+// loop. Any function reading varints from a buffer must therefore
+// inspect the returned length: either it validates the buffer (a trust
+// boundary like ReadArray) or it runs behind one and says so with a
+// //cfplint:ignore directive.
+package varintbounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the varintbounds rule. Sequential decodes may batch
+// their validation (read three fields, then check all three lengths),
+// so the requirement is lexical presence of a comparison of each
+// length variable somewhere in the same function — discarding the
+// length with _ always fails.
+var Analyzer = &analysis.Analyzer{
+	Name: "varintbounds",
+	Doc: `requires the length result of encoding.Uvarint /
+encoding.SkipUvarint to be compared (e.g. n <= 0) within the same
+function before the decoded data can be trusted; blank-discarding the
+length hides truncation entirely`,
+	Run: run,
+}
+
+const encodingPath = "cfpgrowth/internal/encoding"
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range pass.FuncDecls() {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+// lengthResultIndex returns which assignment slot holds the length
+// result of a varint-reading call, or -1 if call is not one.
+func lengthResultIndex(pass *analysis.Pass, call *ast.CallExpr) int {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != encodingPath {
+		return -1
+	}
+	switch fn.Name() {
+	case "Uvarint":
+		return 1
+	case "SkipUvarint":
+		return 0
+	}
+	return -1
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Pass 1: find every varint-read assignment and its length object.
+	type read struct {
+		call *ast.CallExpr
+		obj  types.Object // nil when the length went to _
+	}
+	var reads []read
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		idx := lengthResultIndex(pass, call)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return true
+		}
+		id, ok := as.Lhs[idx].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			reads = append(reads, read{call: call})
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		reads = append(reads, read{call: call, obj: obj})
+		return true
+	})
+	if len(reads) == 0 {
+		return
+	}
+	// Pass 2: which length objects appear in a comparison?
+	compared := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			markIdents(pass, side, compared)
+		}
+		return true
+	})
+	for _, r := range reads {
+		switch {
+		case r.obj == nil:
+			pass.Reportf(r.call.Pos(), "varint length result discarded with _: truncated input is indistinguishable from value 0")
+		case !compared[r.obj]:
+			pass.Reportf(r.call.Pos(), "varint length %s is never checked in this function: a truncated buffer yields length 0 and garbage data", r.obj.Name())
+		}
+	}
+}
+
+// markIdents records every object referenced by identifiers in e.
+func markIdents(pass *analysis.Pass, e ast.Expr, set map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				set[obj] = true
+			}
+		}
+		return true
+	})
+}

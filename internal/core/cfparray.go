@@ -105,17 +105,38 @@ func (a *Array) At(rk uint32, local uint64) Element {
 
 // ParentFields decodes only Δitem and Δpos of the element at (rk,
 // local) — the backward-traversal fast path that never touches count.
+// Triples are validated once at their trust boundaries (Convert for
+// in-process builds, ReadArray for files), so the decoders below run
+// unchecked; debugchecks builds re-assert the invariants here.
 func (a *Array) ParentFields(rk uint32, local uint64) (delta uint32, dpos int64) {
 	b := a.data[a.starts[rk]+local:]
-	d, n := encoding.Uvarint(b)
-	z, _ := encoding.Uvarint(b[n:])
+	d, n1 := encoding.Uvarint(b)
+	if debugChecks {
+		assertf(n1 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
+		assertf(d >= 1, "core: zero Δitem at rank %d local %d", rk, local)
+	}
+	z, n2 := encoding.Uvarint(b[n1:])
+	if debugChecks {
+		assertf(n2 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
+	}
 	return uint32(d), encoding.Unzigzag(z)
 }
 
 func (a *Array) decode(rk uint32, local uint64, b []byte) (Element, int) {
 	d, n1 := encoding.Uvarint(b)
+	if debugChecks {
+		assertf(n1 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
+		assertf(d >= 1, "core: zero Δitem at rank %d local %d", rk, local)
+	}
 	z, n2 := encoding.Uvarint(b[n1:])
+	if debugChecks {
+		assertf(n2 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
+	}
 	c, n3 := encoding.Uvarint(b[n1+n2:])
+	if debugChecks {
+		assertf(n3 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
+		assertf(c > 0, "core: zero count at rank %d local %d", rk, local)
+	}
 	return Element{
 		Rank:  rk,
 		Local: local,

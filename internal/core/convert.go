@@ -128,6 +128,15 @@ func (p *placePass) Enter(rank uint32, pcount uint32) {
 	n += encoding.PutUvarint(p.buf[n:], encoding.Zigzag(dpos))
 	n += encoding.PutUvarint(p.buf[n:], cnt)
 	if p.write {
+		if debugChecks {
+			assertf(cnt > 0, "core: Convert produced zero count at rank %d local %d", rank, local)
+			if len(p.stack) > 0 {
+				assertf(rank > p.stack[len(p.stack)-1].rank,
+					"core: Δitem ordering violated: child rank %d not above parent rank %d", rank, p.stack[len(p.stack)-1].rank)
+			}
+			assertf(p.a.starts[rank]+local+uint64(n) <= p.a.starts[rank+1],
+				"core: triple write overruns subarray of rank %d at local %d", rank, local)
+		}
 		copy(p.a.data[p.a.starts[rank]+local:], p.buf[:n])
 	} else {
 		p.a.support[rank] += cnt

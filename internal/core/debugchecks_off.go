@@ -1,0 +1,13 @@
+//go:build !debugchecks
+
+package core
+
+// debugChecks gates the invariant-assertion layer; see
+// debugchecks_on.go. In regular builds the constant is false and every
+// `if debugChecks { ... }` block is eliminated at compile time.
+const debugChecks = false
+
+// assertf is unreachable in regular builds (all calls sit behind
+// `if debugChecks`); the no-op body keeps both build variants
+// type-checkable.
+func assertf(bool, string, ...any) {}

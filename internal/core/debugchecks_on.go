@@ -1,0 +1,20 @@
+//go:build debugchecks
+
+package core
+
+import "fmt"
+
+// debugChecks gates the invariant-assertion layer at the node
+// encode/decode and CFP-array write/read boundaries. Builds tagged
+// `debugchecks` compile the assertions in; regular builds see a false
+// constant and the guarded blocks are removed by the compiler.
+const debugChecks = true
+
+// assertf panics with a formatted message when cond is false. Call
+// sites must guard with `if debugChecks { ... }` so that argument
+// evaluation is also compiled out of regular builds.
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}

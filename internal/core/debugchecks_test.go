@@ -1,0 +1,116 @@
+//go:build debugchecks
+
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cfpgrowth/internal/encoding"
+)
+
+// These tests exercise the debugchecks assertion layer directly on
+// corrupted in-memory CFP-array buffers, bypassing the ReadArray trust
+// boundary the way a bug in Convert or a stray write would. They only
+// build under -tags debugchecks; regular builds compile the assertions
+// out entirely.
+
+func mustPanicContaining(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected assertion panic containing %q, got normal return", want)
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func debugTestArray() *Array {
+	tree := newTestTree(Config{}, 3)
+	tree.Insert([]uint32{0, 1, 2}, 1)
+	tree.Insert([]uint32{0, 2}, 1)
+	tree.Insert([]uint32{1, 2}, 1)
+	return Convert(tree)
+}
+
+func TestDecodeAssertsOnTruncatedTriple(t *testing.T) {
+	a := debugTestArray()
+	// Overwrite rank 0's whole subarray with varint continuation bytes:
+	// every decode runs off the end of the buffer without terminating.
+	for i := a.starts[0]; i < a.starts[1]; i++ {
+		a.data[i] = 0x80
+	}
+	mustPanicContaining(t, "truncated CFP-array triple", func() {
+		a.ScanItem(0, func(Element) bool { return true })
+	})
+}
+
+func TestDecodeAssertsOnZeroDelta(t *testing.T) {
+	a := debugTestArray()
+	// Δitem 0 would make backward traversal loop on the same rank
+	// forever. Rank 0 holds a single parentless triple whose first byte
+	// is its Δitem varint.
+	a.data[a.starts[0]] = 0x00
+	mustPanicContaining(t, "zero Δitem", func() {
+		a.ScanItem(0, func(Element) bool { return true })
+	})
+}
+
+func TestDecodeAssertsOnZeroCount(t *testing.T) {
+	a := debugTestArray()
+	// The rank-0 triple is (Δitem=1, Δpos=0, count): one byte each, so
+	// the count varint sits two bytes in.
+	a.data[a.starts[0]+2] = 0x00
+	mustPanicContaining(t, "zero count", func() {
+		a.At(0, 0)
+	})
+}
+
+func TestParentFieldsAssertOnCorruption(t *testing.T) {
+	a := debugTestArray()
+	// ParentFields reads from the element to the end of the data, so a
+	// resynchronizing corruption can slip past it; an all-continuation
+	// buffer cannot (the varint overflows 64 bits and reports failure).
+	for i := range a.data {
+		a.data[i] = 0x80
+	}
+	mustPanicContaining(t, "truncated CFP-array triple", func() {
+		a.ParentFields(0, 0)
+	})
+}
+
+func TestWriteSlotAsserts(t *testing.T) {
+	var buf [encoding.Ptr40Len]byte
+	mustPanicContaining(t, "exceeds MaxPtr40", func() {
+		writeSlot(buf[:], ptrSlot(encoding.MaxPtr40+1))
+	})
+	mustPanicContaining(t, "Δitem", func() {
+		writeSlot(buf[:], embedSlot(0, 5))
+	})
+	mustPanicContaining(t, "pcount", func() {
+		writeSlot(buf[:], embedSlot(1, embedMaxPcount+1))
+	})
+}
+
+// TestUncorruptedPathsStillPass pins that the assertion layer stays
+// silent on well-formed data: the same build/convert/scan cycle the
+// regular tests run must not trip any assert under debugchecks.
+func TestUncorruptedPathsStillPass(t *testing.T) {
+	a := debugTestArray()
+	seen := 0
+	for rk := uint32(0); int(rk) < a.NumItems(); rk++ {
+		a.ScanItem(rk, func(e Element) bool {
+			seen++
+			a.PathTo(e, nil)
+			return true
+		})
+	}
+	if seen != a.NumNodes() {
+		t.Errorf("scanned %d elements, want %d", seen, a.NumNodes())
+	}
+}

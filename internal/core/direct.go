@@ -23,6 +23,9 @@ type DirectGrowth struct {
 	Track mine.MemTracker
 	// MaxLen, when positive, prunes the search at that cardinality.
 	MaxLen int
+	// Ctl, when non-nil, is polled at every emission (and during the
+	// build scan), so a stopped run aborts promptly with its cause.
+	Ctl *mine.Control
 }
 
 // Name implements mine.Miner.
@@ -52,10 +55,13 @@ func (g DirectGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink
 	if track == nil {
 		track = mine.NullTracker{}
 	}
-	m := &directGrower{cfg: g.Config, minSup: minSupport, maxLen: g.MaxLen, sink: sink, track: track}
+	m := &directGrower{cfg: g.Config, minSup: minSupport, maxLen: g.MaxLen, sink: sink, track: track, ctl: g.Ctl}
 	tree := NewTree(arena.New(), g.Config, itemName, itemCount)
 	var buf []uint32
 	err = src.Scan(func(tx []uint32) error {
+		if err := g.Ctl.Err(); err != nil {
+			return err
+		}
 		buf = rec.Encode(tx, buf[:0])
 		tree.Insert(buf, 1)
 		return nil
@@ -72,10 +78,14 @@ type directGrower struct {
 	maxLen  int
 	sink    mine.Sink
 	track   mine.MemTracker
+	ctl     *mine.Control // nil = never canceled
 	emitBuf []uint32
 }
 
 func (m *directGrower) emit(prefix []uint32, support uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
 	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
 	return m.sink.Emit(m.emitBuf, support)

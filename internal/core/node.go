@@ -72,8 +72,17 @@ func embedSlot(delta, pcount uint32) slotVal {
 func writeSlot(b []byte, v slotVal) {
 	switch v.kind {
 	case slotPtr:
+		if debugChecks {
+			assertf(v.ptr <= encoding.MaxPtr40, "core: arena offset %#x exceeds MaxPtr40", v.ptr)
+		}
 		encoding.PutPtr40(b, v.ptr)
 	case slotEmbed:
+		if debugChecks {
+			assertf(v.eDelta >= 1 && v.eDelta <= embedMaxDelta,
+				"core: embedded-leaf Δitem %d outside 1..%d", v.eDelta, embedMaxDelta)
+			assertf(v.ePcount <= embedMaxPcount,
+				"core: embedded-leaf pcount %d exceeds %d", v.ePcount, embedMaxPcount)
+		}
 		b[0] = encoding.Ptr40EmbedMarker
 		b[1] = byte(v.eDelta)
 		b[2] = byte(v.ePcount >> 16)
@@ -136,6 +145,9 @@ func pcountLen(pcount uint32) int {
 
 // encode serializes n into b, which must be exactly n.size() bytes.
 func (n *stdNode) encode(b []byte) {
+	if debugChecks {
+		assertf(n.delta >= 1, "core: standard node with zero Δitem")
+	}
 	dl := deltaLen(n.delta)
 	pl := pcountLen(n.pcount)
 	mask := byte(4-dl) << 6
@@ -155,7 +167,7 @@ func (n *stdNode) encode(b []byte) {
 	pos += encoding.PutSuppressed32(b[pos:], n.pcount, 4-pl)
 	for _, s := range []slotVal{n.left, n.right, n.suffix} {
 		if s.kind != slotNone {
-			writeSlot(b[pos:pos+5], s)
+			writeSlot(b[pos:pos+encoding.Ptr40Len], s)
 			pos += encoding.Ptr40Len
 		}
 	}
@@ -183,16 +195,19 @@ func decodeStd(b []byte) (stdNode, int) {
 	pos += 4 - dzb
 	n.pcount = encoding.Suppressed32(b[pos:], pzb)
 	pos += 4 - pzb
+	if debugChecks {
+		assertf(n.delta >= 1, "core: decoded standard node with zero Δitem")
+	}
 	if m&(1<<2) != 0 {
-		n.left = readSlot(b[pos : pos+5])
+		n.left = readSlot(b[pos : pos+encoding.Ptr40Len])
 		pos += encoding.Ptr40Len
 	}
 	if m&(1<<1) != 0 {
-		n.right = readSlot(b[pos : pos+5])
+		n.right = readSlot(b[pos : pos+encoding.Ptr40Len])
 		pos += encoding.Ptr40Len
 	}
 	if m&1 != 0 {
-		n.suffix = readSlot(b[pos : pos+5])
+		n.suffix = readSlot(b[pos : pos+encoding.Ptr40Len])
 		pos += encoding.Ptr40Len
 	}
 	return n, pos
@@ -251,7 +266,7 @@ func (c *chainNode) encode(b []byte) {
 	pos++
 	pos += encoding.PutSuppressed32(b[pos:], c.pcount, 4-pl)
 	if c.suffix.kind != slotNone {
-		writeSlot(b[pos:pos+5], c.suffix)
+		writeSlot(b[pos:pos+encoding.Ptr40Len], c.suffix)
 		pos += encoding.Ptr40Len
 	}
 	if pos != len(b) {
@@ -267,6 +282,9 @@ func decodeChain(b []byte) (chainNode, int) {
 		panic("core: decodeChain on standard node")
 	}
 	l := int(b[1])
+	if debugChecks {
+		assertf(l >= 2, "core: decoded chain of length %d", l)
+	}
 	var c chainNode
 	c.deltas = b[2 : 2+l]
 	pos := 2 + l
@@ -275,7 +293,7 @@ func decodeChain(b []byte) (chainNode, int) {
 	c.pcount = encoding.Suppressed32(b[pos:], pzb)
 	pos += 4 - pzb
 	if h&(1<<2) != 0 {
-		c.suffix = readSlot(b[pos : pos+5])
+		c.suffix = readSlot(b[pos : pos+encoding.Ptr40Len])
 		pos += encoding.Ptr40Len
 	}
 	return c, pos

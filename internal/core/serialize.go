@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 
 	"cfpgrowth/internal/encoding"
 )
@@ -204,7 +205,79 @@ func ReadArray(r io.Reader) (*Array, error) {
 	if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadFormat)
 	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
 	return a, nil
+}
+
+// validate structurally verifies the triple storage. ReadArray is the
+// trust boundary for CFP-array bytes: past it, the decoders in
+// cfparray.go run unchecked (the paper's §2.3 cost argument rules out
+// per-access validation), and the sideways and backward traversals
+// terminate only if every triple is well-formed — a zero-length varint
+// stalls ScanItem and a zero Δitem loops PathTo forever, CRC or no CRC
+// (the checksum catches accidental damage, not a consistent hostile
+// writer). So every triple is parsed exactly once here: varints intact,
+// counts positive, Δitem in range, and each parent reference landing
+// exactly on a triple boundary of the parent's subarray. Parents have
+// strictly smaller ranks, so walking subarrays in ascending rank order
+// has every referenced offset list already built.
+func (a *Array) validate() error {
+	numItems := len(a.itemName)
+	offs := make([][]uint64, numItems)
+	for rk := 0; rk < numItems; rk++ {
+		lo, hi := a.starts[rk], a.starts[rk+1]
+		var locals []uint64
+		var sup uint64
+		for pos := lo; pos < hi; {
+			local := pos - lo
+			locals = append(locals, local)
+			b := a.data[pos:hi]
+			d, n1 := encoding.Uvarint(b)
+			if n1 <= 0 {
+				return fmt.Errorf("%w: corrupt Δitem varint at rank %d local %d", ErrBadFormat, rk, local)
+			}
+			z, n2 := encoding.Uvarint(b[n1:])
+			if n2 <= 0 {
+				return fmt.Errorf("%w: corrupt Δpos varint at rank %d local %d", ErrBadFormat, rk, local)
+			}
+			c, n3 := encoding.Uvarint(b[n1+n2:])
+			if n3 <= 0 {
+				return fmt.Errorf("%w: corrupt count varint at rank %d local %d", ErrBadFormat, rk, local)
+			}
+			if d < 1 || d > uint64(rk)+1 {
+				return fmt.Errorf("%w: Δitem %d out of range at rank %d local %d", ErrBadFormat, d, rk, local)
+			}
+			if c == 0 {
+				return fmt.Errorf("%w: zero count at rank %d local %d", ErrBadFormat, rk, local)
+			}
+			dpos := encoding.Unzigzag(z)
+			if d <= uint64(rk) {
+				// Real parent: the reference must resolve, via the same
+				// wrapping arithmetic Element.ParentLocal uses, to a
+				// triple start in the parent's subarray.
+				pl := int64(local) - dpos
+				parent := offs[rk-int(d)]
+				j := sort.Search(len(parent), func(i int) bool { return parent[i] >= uint64(pl) })
+				if pl < 0 || j == len(parent) || parent[j] != uint64(pl) {
+					return fmt.Errorf("%w: dangling parent reference at rank %d local %d", ErrBadFormat, rk, local)
+				}
+			} else if dpos != 0 {
+				return fmt.Errorf("%w: parentless element with nonzero Δpos at rank %d local %d", ErrBadFormat, rk, local)
+			}
+			sup += c
+			pos += uint64(n1 + n2 + n3)
+		}
+		if len(locals) != a.nodes[rk] {
+			return fmt.Errorf("%w: rank %d holds %d elements but header claims %d", ErrBadFormat, rk, len(locals), a.nodes[rk])
+		}
+		if sup != a.support[rk] {
+			return fmt.Errorf("%w: rank %d counts sum to %d but header claims support %d", ErrBadFormat, rk, sup, a.support[rk])
+		}
+		offs[rk] = locals
+	}
+	return nil
 }
 
 type countingWriter struct {

@@ -137,6 +137,58 @@ func TestSerializeNodeCountMismatch(t *testing.T) {
 	}
 }
 
+// TestReadArrayRejectsHostileTriples: the CRC only catches accidental
+// damage — a hostile writer serializes corrupt triples with a perfectly
+// consistent checksum. ReadArray is the trust boundary, so it must
+// structurally validate the triple storage; without that, a zero Δitem
+// loops PathTo forever and a truncated varint stalls ScanItem. Each
+// case corrupts the in-memory array and reserializes it honestly
+// (valid CRC), so only validation can reject the file.
+func TestReadArrayRejectsHostileTriples(t *testing.T) {
+	build := func() *Array {
+		return buildArrayFrom([][]uint32{{0, 1, 2}, {0, 2}, {1, 2}}, 3)
+	}
+	// Sanity-check the layout assumptions the corruptions below rely
+	// on: rank 1 holds a parented triple at local 0 and a parentless
+	// one at local 3, each encoded as three single-byte varints.
+	pristine := build()
+	if e := pristine.At(1, 0); e.Delta != 1 || e.Dpos != 0 {
+		t.Fatalf("layout changed: At(1,0) = %+v", e)
+	}
+	if e := pristine.At(1, 3); e.Delta != 2 || e.Dpos != 0 {
+		t.Fatalf("layout changed: At(1,3) = %+v", e)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(a *Array)
+	}{
+		{"zero delta", func(a *Array) { a.data[a.starts[0]] = 0x00 }},
+		{"truncated varint", func(a *Array) { a.data[len(a.data)-1] = 0x80 }},
+		{"delta past virtual root", func(a *Array) { a.data[a.starts[0]] = 0x07 }},
+		{"dangling parent reference", func(a *Array) { a.data[a.starts[1]+1] = 0x02 }},
+		{"parentless nonzero dpos", func(a *Array) { a.data[a.starts[1]+4] = 0x02 }},
+		{"support sum mismatch", func(a *Array) { a.support[0]++ }},
+		{"per-rank node count mismatch", func(a *Array) {
+			a.nodes[0]++
+			a.nodes[1]--
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := build()
+			tc.corrupt(a)
+			var buf bytes.Buffer
+			if _, err := a.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			_, err := ReadArray(&buf)
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("hostile file accepted: err = %v", err)
+			}
+		})
+	}
+}
+
 // TestMineDeserializedArray: mining a deserialized array must give the
 // same itemsets as mining the database directly.
 func TestMineDeserializedArray(t *testing.T) {

@@ -1,0 +1,22 @@
+//go:build debugchecks
+
+package encoding
+
+import "fmt"
+
+// debugChecks gates the invariant-assertion layer. Builds tagged
+// `debugchecks` compile the assertions in; regular builds see a false
+// constant and the compiler removes the guarded blocks entirely, so
+// the checks are zero-cost where the paper's hot paths care (§2.3
+// rejects even bit-level decoding overhead, let alone per-call
+// validation).
+const debugChecks = true
+
+// assertf panics with a formatted message when cond is false. Call
+// sites must guard with `if debugChecks { ... }` so that argument
+// evaluation is also compiled out of regular builds.
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf(format, args...))
+	}
+}

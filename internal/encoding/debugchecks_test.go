@@ -1,0 +1,60 @@
+//go:build debugchecks
+
+package encoding
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs fn and returns the panic message, failing the test if
+// fn returns normally.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+				return
+			}
+			t.Fatal("expected assertion panic, got normal return")
+		}()
+		fn()
+	}()
+	return msg
+}
+
+func TestPutPtr40AssertsOnOverflow(t *testing.T) {
+	var buf [Ptr40Len]byte
+	// MaxPtr40+1 is the first value whose high byte would be the
+	// reserved 0xFF embed marker; writing it would corrupt any slot it
+	// lands in, so the debugchecks build must refuse.
+	msg := mustPanic(t, func() { PutPtr40(buf[:], MaxPtr40+1) })
+	if !strings.Contains(msg, "MaxPtr40") {
+		t.Errorf("panic message %q does not mention MaxPtr40", msg)
+	}
+}
+
+func TestPutSuppressed32AssertsOnMisfit(t *testing.T) {
+	var buf [4]byte
+	// Claiming 2 suppressed zero bytes for a 3-byte value silently
+	// drops the top byte in regular builds; the assertion layer flags
+	// the call site instead.
+	msg := mustPanic(t, func() { PutSuppressed32(buf[:], 0x01_0000, 2) })
+	if !strings.Contains(msg, "does not fit") {
+		t.Errorf("panic message %q does not mention the misfit", msg)
+	}
+	mustPanic(t, func() { PutSuppressed32(buf[:], 0, 5) })
+}
+
+func TestSuppressed32ValidUsesStillPass(t *testing.T) {
+	var buf [4]byte
+	for _, v := range []uint32{0, 1, 0xFF, 0x100, 0xFFFFFF, 0xFFFFFFFF} {
+		zb := ZeroBytes32(v)
+		n := PutSuppressed32(buf[:], v, zb)
+		if got := Suppressed32(buf[:n], zb); got != v {
+			t.Errorf("round trip %#x -> %#x", v, got)
+		}
+	}
+}

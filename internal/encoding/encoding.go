@@ -120,6 +120,11 @@ func ZeroBytes32(v uint32) int {
 // stores zb in a compression mask. zb must equal ZeroBytes32(v) or be
 // smaller (a smaller zb is valid but wasteful).
 func PutSuppressed32(buf []byte, v uint32, zb int) int {
+	if debugChecks {
+		assertf(zb >= 0 && zb <= 4, "encoding: PutSuppressed32 zero-byte count %d out of range", zb)
+		assertf(uint64(v) < uint64(1)<<(8*uint(4-zb)),
+			"encoding: PutSuppressed32 value %#x does not fit in %d bytes", v, 4-zb)
+	}
 	n := 4 - zb
 	for i := n - 1; i >= 0; i-- {
 		buf[i] = byte(v)
@@ -154,6 +159,10 @@ const MaxPtr40 = uint64(Ptr40EmbedMarker)<<32 - 1
 // PutPtr40 stores a 40-bit pointer at buf[0:5], high byte first so that
 // buf[0] can be tested against Ptr40EmbedMarker. v must be ≤ MaxPtr40.
 func PutPtr40(buf []byte, v uint64) {
+	if debugChecks {
+		assertf(v <= MaxPtr40,
+			"encoding: PutPtr40 value %#x exceeds MaxPtr40 (high byte would collide with the 0xFF embed marker)", v)
+	}
 	buf[0] = byte(v >> 32)
 	buf[1] = byte(v >> 24)
 	buf[2] = byte(v >> 16)

@@ -170,6 +170,35 @@ func TestPtr40RoundTrip(t *testing.T) {
 	}
 }
 
+// TestPtr40Edges pins the boundary values: zero, one, and MaxPtr40
+// itself, whose high byte is 0xFE — one below the reserved embed
+// marker. The first value whose encoding would start with 0xFF is
+// MaxPtr40+1, which is why MaxPtr40 is the cap.
+func TestPtr40Edges(t *testing.T) {
+	for _, v := range []uint64{0, 1, 1<<32 - 1, 1 << 32, MaxPtr40} {
+		var buf [Ptr40Len]byte
+		PutPtr40(buf[:], v)
+		if buf[0] == Ptr40EmbedMarker {
+			t.Errorf("PutPtr40(%#x) high byte collides with embed marker", v)
+		}
+		if got := Ptr40(buf[:]); got != v {
+			t.Errorf("round trip %#x -> %#x", v, got)
+		}
+	}
+	var buf [Ptr40Len]byte
+	PutPtr40(buf[:], MaxPtr40)
+	if buf[0] != 0xFE {
+		t.Errorf("MaxPtr40 high byte = %#x, want 0xFE", buf[0])
+	}
+	// The marker byte itself must survive a slot round trip untouched:
+	// a buffer starting with 0xFF reads back as a value that PutPtr40
+	// could never have produced from a valid offset.
+	marker := [Ptr40Len]byte{Ptr40EmbedMarker, 0, 0, 0, 1}
+	if got := Ptr40(marker[:]); got <= MaxPtr40 {
+		t.Errorf("marker-headed slot decodes to valid offset %#x", got)
+	}
+}
+
 func TestPtr40HighByteFirst(t *testing.T) {
 	var buf [Ptr40Len]byte
 	PutPtr40(buf[:], 0xAB_1234_5678)

@@ -81,6 +81,14 @@ func MineTreeMaxLen(tree *Tree, minSupport uint64, sink mine.Sink, track mine.Me
 	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, nil)
 }
 
+// MineTreeCtl is MineTreeMaxLen with a cancellation/budget control
+// threaded through the recursion: every emission sits behind a ctl
+// stop-check, so variant algorithms reusing this recursion inherit the
+// no-emission-after-stop invariant. A nil ctl never stops.
+func MineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control) error {
+	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, ctl)
+}
+
 func mineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control) error {
 	if track == nil {
 		track = mine.NullTracker{}
