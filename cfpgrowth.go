@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"cfpgrowth/internal/algo"
 	"cfpgrowth/internal/arena"
@@ -38,7 +39,31 @@ import (
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/fptree"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
+
+// Recorder collects run-level observability: phase spans (pass1,
+// pass2-build, convert, mine), structure counters (node kinds, chain
+// splits, itemsets emitted), and modeled-byte gauges with a peak
+// high-water mark. Create one with NewRecorder, attach it via
+// Options.Observe, and read it back with Snapshot, or stream events by
+// constructing it over a JSONL sink. A nil *Recorder is inert, so
+// instrumented code paths cost one nil check when observability is
+// off.
+type Recorder = obs.Recorder
+
+// NewRecorder returns a Recorder streaming span and summary events to
+// sink; a nil sink collects aggregates only (read them via Snapshot).
+func NewRecorder(sink EventSink) *Recorder { return obs.New(sink) }
+
+// EventSink receives a Recorder's trace events (one per ended phase
+// span, plus the final summary from EmitSummary).
+type EventSink = obs.EventSink
+
+// NewJSONLSink returns an EventSink writing one JSON object per event
+// to w, newline-delimited — the trace format documented in
+// docs/FORMAT.md §7. Safe for concurrent use.
+func NewJSONLSink(w io.Writer) EventSink { return obs.NewJSONLSink(w) }
 
 // ErrCanceled reports a mining run aborted by its Options.Context —
 // explicit cancellation or an exceeded deadline. Test with errors.Is.
@@ -132,6 +157,13 @@ type Options struct {
 	// ErrBudgetExceeded at the first itemset past the limit. This caps
 	// runaway result explosions from too-low supports.
 	MaxItemsets uint64
+	// Observe, when non-nil, receives the run's phase spans, structure
+	// counters, and modeled-byte gauges. The natively instrumented
+	// algorithms (cfpgrowth, cfpgrowth-par, pfp, fpgrowth) record
+	// per-phase detail; the comparison algorithms ignore the recorder.
+	// The same recorder may observe several runs; its counters then
+	// accumulate across them.
+	Observe *Recorder
 }
 
 // Algorithms lists the available algorithm names.
@@ -176,15 +208,16 @@ func (o Options) miner(track mine.MemTracker, ctl *mine.Control) (mine.Miner, er
 				Track:   track,
 				MaxLen:  o.MaxLen,
 				Ctl:     ctl,
+				Rec:     o.Observe,
 			}, nil
 		}
 		// The CFP-growth and FP-growth miners prune the search itself
 		// at MaxLen; the other algorithms filter at the sink.
-		return core.Growth{Config: cfg, Track: track, MaxLen: o.MaxLen, Ctl: ctl}, nil
+		return core.Growth{Config: cfg, Track: track, MaxLen: o.MaxLen, Ctl: ctl, Rec: o.Observe}, nil
 	case "fpgrowth":
-		return fptree.Growth{Track: track, MaxLen: o.MaxLen, Ctl: ctl}, nil
+		return fptree.Growth{Track: track, MaxLen: o.MaxLen, Ctl: ctl, Rec: o.Observe}, nil
 	}
-	return algo.New(name, track, ctl)
+	return algo.NewObserved(name, track, ctl, o.Observe)
 }
 
 // controlled reports whether the run needs a cancellation/budget

@@ -17,9 +17,11 @@
 //
 // Each analyzer runs over a scope matching its invariant: sinkguard
 // only applies to the mining packages (internal/core, internal/pfp,
-// internal/fptree, internal/algo/...), ptr40safe everywhere except
-// internal/encoding (which owns the raw layout), errsentinel and
-// varintbounds module-wide.
+// internal/fptree, internal/algo/...), obsguard to the packages
+// instrumented with obs spans (internal/core, internal/pfp,
+// internal/fptree, internal/experiments, cmd/...), ptr40safe
+// everywhere except internal/encoding (which owns the raw layout),
+// errsentinel and varintbounds module-wide.
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/obsguard"
 	"cfpgrowth/internal/analysis/ptr40safe"
 	"cfpgrowth/internal/analysis/sinkguard"
 	"cfpgrowth/internal/analysis/varintbounds"
@@ -64,6 +67,13 @@ var suite = []scoped{
 		"cfpgrowth/internal/pfp",
 		"cfpgrowth/internal/fptree",
 		"cfpgrowth/internal/algo",
+	)},
+	{obsguard.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/experiments",
+		"cfpgrowth/cmd",
 	)},
 	{errsentinel.Analyzer, everywhere},
 	{varintbounds.Analyzer, everywhere},

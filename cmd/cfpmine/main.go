@@ -8,6 +8,11 @@
 // With -count only the number of frequent itemsets per cardinality is
 // printed; otherwise every itemset is written in the FIMI output
 // convention "i1 i2 ... (support)".
+//
+// Observability: -trace FILE streams a JSONL trace of phase spans plus
+// a final summary (schema: docs/FORMAT.md §7), -metrics-addr ADDR
+// serves expvar, pprof and a JSON snapshot over HTTP for the run's
+// duration, and -profile FILE writes a CPU profile.
 package main
 
 import (
@@ -15,12 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"cfpgrowth"
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 func main() {
@@ -43,6 +50,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the run after this duration, e.g. 30s (0 = no limit)")
 		maxBytes  = flag.Int64("max-bytes", 0, "abort when modeled mining memory exceeds this many bytes (0 = no limit)")
 		maxSets   = flag.Uint64("max-itemsets", 0, "abort after emitting this many itemsets (0 = no limit)")
+		trace     = flag.String("trace", "", "write a JSONL trace (phase spans + summary) to this file")
+		metrics   = flag.String("metrics-addr", "", "serve expvar/pprof/metrics over HTTP on this address, e.g. localhost:6060")
+		profile   = flag.String("profile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 	if *input == "" && *loadIdx == "" {
@@ -67,6 +77,44 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		opts.Context = ctx
+	}
+	defer runCleanups()
+	var rec *cfpgrowth.Recorder
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		cleanup(func() { f.Close() })
+		rec = cfpgrowth.NewRecorder(obs.NewJSONLSink(f))
+	} else if *metrics != "" {
+		rec = cfpgrowth.NewRecorder(nil)
+	}
+	if rec != nil {
+		opts.Observe = rec
+		// LIFO: the summary event is written before the trace file
+		// closes, on success and failure exits alike.
+		cleanup(rec.EmitSummary)
+	}
+	if *metrics != "" {
+		rec.Publish("cfpmine")
+		srv, err := obs.Serve(*metrics, rec)
+		if err != nil {
+			fail(err)
+		}
+		cleanup(func() { srv.Close() })
+		fmt.Fprintf(os.Stderr, "cfpmine: metrics on http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", srv.Addr())
+	}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fail(err)
+		}
+		cleanup(func() { f.Close() })
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		cleanup(pprof.StopCPUProfile)
 	}
 	var ms cfpgrowth.MemoryStats
 	opts.Memory = &ms
@@ -211,7 +259,24 @@ func human(b int64) string {
 	}
 }
 
+// cleanups holds teardown for the observability exporters (trace
+// summary + file, metrics server, CPU profile). A plain defer would
+// be skipped by fail's os.Exit, losing the summary event of exactly
+// the runs most worth diagnosing — so both exit paths drain this
+// stack explicitly, LIFO like defer.
+var cleanups []func()
+
+func cleanup(f func()) { cleanups = append(cleanups, f) }
+
+func runCleanups() {
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	cleanups = nil
+}
+
 func fail(err error) {
+	runCleanups()
 	fmt.Fprintln(os.Stderr, "cfpmine:", err)
 	os.Exit(1)
 }

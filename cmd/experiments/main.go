@@ -8,6 +8,14 @@
 //	experiments all
 //	experiments table1 table2 fig6a
 //	experiments -scale 500 -budget 16 fig7a fig8c
+//	experiments -json-out out/ bench
+//	experiments -validate-bench out/BENCH_quest1.json
+//
+// The bench target mines the standard datasets under the observability
+// recorder and writes one machine-readable BENCH_<dataset>.json per
+// dataset to the -json-out directory (schema: docs/FORMAT.md §6);
+// -validate-bench re-parses such a file and checks its internal
+// consistency, exiting nonzero on violations.
 package main
 
 import (
@@ -28,11 +36,23 @@ func main() {
 		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		timeout  = flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 10m (0 = no limit)")
 		maxBytes = flag.Int64("max-bytes", 0, "abort any sweep whose modeled mining memory exceeds this many bytes (0 = no limit)")
+		jsonOut  = flag.String("json-out", "", "directory receiving BENCH_<dataset>.json records (bench target)")
+		validate = flag.String("validate-bench", "", "validate this BENCH_*.json file and exit")
 	)
 	flag.Parse()
 	args := flag.Args()
+	if *validate != "" {
+		r, err := experiments.ValidateBenchJSON(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (dataset %s, algo %s, %d itemsets, peak %d B)\n",
+			*validate, r.Dataset, r.Algo, r.Itemsets, r.PeakBytes)
+		return
+	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] [-timeout D] [-max-bytes N] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] [-timeout D] [-max-bytes N] [-json-out DIR] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|bench|all>...")
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Scale: *scale, MemBudget: *budget << 20, Quick: *quick}.WithDefaults()
@@ -152,6 +172,27 @@ func main() {
 			return err
 		}
 		experiments.PrintArrayVsDirect(w, avd)
+		return nil
+	})
+	run("bench", func() error {
+		if *jsonOut == "" {
+			recs, err := cfg.BenchAll()
+			if err != nil {
+				return err
+			}
+			for _, r := range recs {
+				fmt.Printf("bench %-8s %-12s %8.1f ms  peak %10d B  %8d itemsets\n",
+					r.Dataset, r.Algo, r.WallMillis, r.PeakBytes, r.Itemsets)
+			}
+			return nil
+		}
+		paths, err := cfg.WriteBenchJSON(*jsonOut)
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			fmt.Printf("wrote %s\n", p)
+		}
 		return nil
 	})
 }

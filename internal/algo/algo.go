@@ -17,35 +17,59 @@ import (
 	"cfpgrowth/internal/core"
 	"cfpgrowth/internal/fptree"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 	"cfpgrowth/internal/pfp"
 )
 
 // factories maps algorithm names to constructors taking a memory
-// tracker and a cancellation control. Miners without native control
-// support ignore ctl; their runs are still stopped at the next
-// emission by the mine.ControlSink the callers wrap around the sink.
-var factories = map[string]func(mine.MemTracker, *mine.Control) mine.Miner{
-	"cfpgrowth":     func(t mine.MemTracker, c *mine.Control) mine.Miner { return core.Growth{Track: t, Ctl: c} },
-	"cfpgrowth-par": func(t mine.MemTracker, c *mine.Control) mine.Miner { return core.ParallelGrowth{Track: t, Ctl: c} },
-	"pfp":           func(t mine.MemTracker, c *mine.Control) mine.Miner { return pfp.Miner{Track: t, Ctl: c} },
-	"fpgrowth":      func(t mine.MemTracker, c *mine.Control) mine.Miner { return fptree.Growth{Track: t, Ctl: c} },
-	"apriori":       func(t mine.MemTracker, c *mine.Control) mine.Miner { return apriori.Miner{Track: t, Ctl: c} },
-	"eclat":         func(t mine.MemTracker, c *mine.Control) mine.Miner { return eclat.Miner{Track: t, Ctl: c} },
-	"nonordfp":      func(t mine.MemTracker, _ *mine.Control) mine.Miner { return nonordfp.Miner{Track: t} },
-	"fparray":       func(t mine.MemTracker, _ *mine.Control) mine.Miner { return fparray.Miner{Track: t} },
-	"tiny":          func(t mine.MemTracker, _ *mine.Control) mine.Miner { return tiny.Miner{Track: t} },
-	"afopt":         func(t mine.MemTracker, _ *mine.Control) mine.Miner { return afopt.Miner{Track: t} },
-	"ctpro":         func(t mine.MemTracker, _ *mine.Control) mine.Miner { return ctpro.Miner{Track: t} },
+// tracker, a cancellation control, and an observability recorder.
+// Miners without native control support ignore ctl; their runs are
+// still stopped at the next emission by the mine.ControlSink the
+// callers wrap around the sink. Miners without native instrumentation
+// ignore rec; callers wanting their modeled bytes in a trace can pass
+// the recorder as (part of) the tracker instead.
+var factories = map[string]func(mine.MemTracker, *mine.Control, *obs.Recorder) mine.Miner{
+	"cfpgrowth": func(t mine.MemTracker, c *mine.Control, r *obs.Recorder) mine.Miner {
+		return core.Growth{Track: t, Ctl: c, Rec: r}
+	},
+	"cfpgrowth-par": func(t mine.MemTracker, c *mine.Control, r *obs.Recorder) mine.Miner {
+		return core.ParallelGrowth{Track: t, Ctl: c, Rec: r}
+	},
+	"pfp": func(t mine.MemTracker, c *mine.Control, r *obs.Recorder) mine.Miner {
+		return pfp.Miner{Track: t, Ctl: c, Rec: r}
+	},
+	"fpgrowth": func(t mine.MemTracker, c *mine.Control, r *obs.Recorder) mine.Miner {
+		return fptree.Growth{Track: t, Ctl: c, Rec: r}
+	},
+	"apriori": func(t mine.MemTracker, c *mine.Control, _ *obs.Recorder) mine.Miner {
+		return apriori.Miner{Track: t, Ctl: c}
+	},
+	"eclat": func(t mine.MemTracker, c *mine.Control, _ *obs.Recorder) mine.Miner {
+		return eclat.Miner{Track: t, Ctl: c}
+	},
+	"nonordfp": func(t mine.MemTracker, _ *mine.Control, _ *obs.Recorder) mine.Miner { return nonordfp.Miner{Track: t} },
+	"fparray":  func(t mine.MemTracker, _ *mine.Control, _ *obs.Recorder) mine.Miner { return fparray.Miner{Track: t} },
+	"tiny":     func(t mine.MemTracker, _ *mine.Control, _ *obs.Recorder) mine.Miner { return tiny.Miner{Track: t} },
+	"afopt":    func(t mine.MemTracker, _ *mine.Control, _ *obs.Recorder) mine.Miner { return afopt.Miner{Track: t} },
+	"ctpro":    func(t mine.MemTracker, _ *mine.Control, _ *obs.Recorder) mine.Miner { return ctpro.Miner{Track: t} },
 }
 
 // New returns the miner registered under name, reporting memory to
 // track and honoring ctl (both may be nil).
 func New(name string, track mine.MemTracker, ctl *mine.Control) (mine.Miner, error) {
+	return NewObserved(name, track, ctl, nil)
+}
+
+// NewObserved is New with an observability recorder attached; the
+// natively instrumented miners (cfpgrowth, cfpgrowth-par, pfp,
+// fpgrowth) record phase spans and structure counters into it, the
+// rest ignore it. A nil rec disables instrumentation.
+func NewObserved(name string, track mine.MemTracker, ctl *mine.Control, rec *obs.Recorder) (mine.Miner, error) {
 	f, ok := factories[name]
 	if !ok {
 		return nil, fmt.Errorf("algo: unknown algorithm %q (have %v)", name, Names())
 	}
-	return f(track, ctl), nil
+	return f(track, ctl, rec), nil
 }
 
 // Names lists the registered algorithms, sorted.

@@ -1,0 +1,175 @@
+// Package obsguard enforces the span-lifecycle invariant of the
+// observability layer: every obs span that is started must be ended on
+// all return paths, or its duration and byte delta silently vanish
+// from the phase aggregates (and JSONL traces under-report the run).
+//
+// Mechanically, for each function scope — a function declaration or a
+// function literal, each analyzed separately — every call to
+// (*obs.Recorder).Start must be followed, later in the same scope, by
+// a (obs.Span).End call. A deferred End always satisfies the rule
+// (deferred calls run on every exit path); a plain End satisfies it
+// only when no return statement of the same scope sits between the
+// Start and that End, which accepts the repo's canonical
+// End-before-error-return idiom:
+//
+//	sp := rec.Start(obs.PhasePass1)
+//	counts, err := dataset.CountItems(src)
+//	sp.End()
+//	if err != nil {
+//		return err
+//	}
+//
+// Returns inside nested function literals do not count against the
+// enclosing scope (the literal's body is its own scope), so spans
+// wrapped around Scan-style callback loops are accepted. Note that
+// `defer sp.End()` placed before the Start is not accepted: the defer
+// captures the span value at defer time, so it would end the zero
+// span, not the one started later.
+package obsguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the obsguard rule. The driver applies it to the
+// instrumented packages (internal/core, internal/pfp, internal/fptree,
+// internal/experiments, and the commands); package internal/obs
+// itself, which implements spans, is exempt.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc: `requires every obs span started ((*obs.Recorder).Start) to be
+ended on all return paths of the same function scope — via a deferred
+(obs.Span).End, or a plain End with no return between Start and End —
+so no phase measurement is silently dropped from traces`,
+	Run: run,
+}
+
+const obsPath = "cfpgrowth/internal/obs"
+
+func run(pass *analysis.Pass) error {
+	for _, fd := range pass.FuncDecls() {
+		for _, body := range scopes(fd.Body) {
+			checkScope(pass, body)
+		}
+	}
+	return nil
+}
+
+// scopes returns root plus the body of every function literal nested
+// under it, each to be analyzed as an independent scope.
+func scopes(root *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{root}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			out = append(out, fl.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// endCall is one (obs.Span).End call site in a scope.
+type endCall struct {
+	pos      token.Pos
+	deferred bool
+}
+
+// checkScope analyzes one function body, not descending into nested
+// function literals (each is its own scope).
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var starts []*ast.CallExpr
+	var ends []endCall
+	var returns []token.Pos
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.CallExpr:
+			if fn := analysis.Callee(pass.TypesInfo, n); fn != nil {
+				switch {
+				case isRecorderStart(fn):
+					starts = append(starts, n)
+				case isSpanEnd(fn):
+					_, deferred := parent(stack).(*ast.DeferStmt)
+					ends = append(ends, endCall{pos: n.Pos(), deferred: deferred})
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	for _, s := range starts {
+		checkStart(pass, s, ends, returns)
+	}
+}
+
+func parent(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// checkStart verifies one Start call: the first End after it must
+// exist, and — unless that End is deferred — no return of the scope
+// may sit between the Start and it.
+func checkStart(pass *analysis.Pass, start *ast.CallExpr, ends []endCall, returns []token.Pos) {
+	var first *endCall
+	for i := range ends {
+		if ends[i].pos <= start.Pos() {
+			continue
+		}
+		if first == nil || ends[i].pos < first.pos {
+			first = &ends[i]
+		}
+	}
+	if first == nil {
+		pass.Reportf(start.Pos(), "obs span started here is never ended in this function (add sp.End() or defer sp.End())")
+		return
+	}
+	if first.deferred {
+		return
+	}
+	for _, r := range returns {
+		if start.Pos() < r && r < first.pos {
+			pass.Reportf(start.Pos(), "return between this obs span's Start and its End can leave the span unfinished; call End before returning or defer it")
+			return
+		}
+	}
+}
+
+// isRecorderStart reports whether fn is (*obs.Recorder).Start.
+func isRecorderStart(fn *types.Func) bool {
+	return fn.Name() == "Start" && hasObsRecv(fn, "Recorder")
+}
+
+// isSpanEnd reports whether fn is (obs.Span).End.
+func isSpanEnd(fn *types.Func) bool {
+	return fn.Name() == "End" && hasObsRecv(fn, "Span")
+}
+
+func hasObsRecv(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == typeName &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsPath
+}

@@ -1,0 +1,110 @@
+// Fixture for the obsguard analyzer: span Start sites with and
+// without an End on all return paths.
+package fixture
+
+import (
+	"errors"
+
+	"cfpgrowth/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// endBeforeReturn is the canonical End-before-error-return idiom.
+func endBeforeReturn(rec *obs.Recorder, fail bool) error {
+	sp := rec.Start(obs.PhasePass1)
+	sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// deferredEnd covers every exit path with one deferred End.
+func deferredEnd(rec *obs.Recorder, fail bool) error {
+	sp := rec.Start(obs.PhaseMine)
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// neverEnded starts a span and drops it.
+func neverEnded(rec *obs.Recorder) {
+	rec.Start(obs.PhaseBuild) // want `obs span started here is never ended`
+}
+
+// returnBetween can exit between Start and End, losing the span.
+func returnBetween(rec *obs.Recorder, fail bool) error {
+	sp := rec.Start(obs.PhaseConvert) // want `return between this obs span's Start and its End`
+	if fail {
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// conditionalStart is the reset-then-maybe-start idiom of the miners:
+// the zero span's End is a no-op, so one unconditional End suffices.
+func conditionalStart(rec *obs.Recorder, top bool) {
+	var sp obs.Span
+	if top {
+		sp = rec.Start(obs.PhaseMine)
+	}
+	work()
+	sp.End()
+}
+
+// nestedLiteralReturns shows that returns inside a nested function
+// literal do not count against the enclosing scope's span.
+func nestedLiteralReturns(rec *obs.Recorder, items []int) error {
+	sp := rec.Start(obs.PhaseBuild)
+	err := scan(func(i int) error {
+		if i < 0 {
+			return errBoom
+		}
+		return nil
+	})
+	sp.End()
+	return err
+}
+
+// literalOwnSpan: a span started inside a function literal must end
+// inside that literal.
+func literalOwnSpan(rec *obs.Recorder) error {
+	return scan(func(i int) error {
+		sp := rec.Start(obs.PhaseMine)
+		sp.End()
+		return nil
+	})
+}
+
+// literalLeaks starts a span in a literal and never ends it there.
+func literalLeaks(rec *obs.Recorder) error {
+	return scan(func(i int) error {
+		rec.Start(obs.PhaseMine) // want `obs span started here is never ended`
+		return nil
+	})
+}
+
+// deferBeforeStart defers End on the zero span before starting the
+// real one: the deferred call captured the old value, so the started
+// span is still never ended.
+func deferBeforeStart(rec *obs.Recorder) {
+	var sp obs.Span
+	defer sp.End()
+	sp = rec.Start(obs.PhaseStats) // want `obs span started here is never ended`
+	work()
+}
+
+func work() {}
+
+func scan(fn func(int) error) error {
+	for i := 0; i < 3; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

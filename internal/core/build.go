@@ -2,6 +2,7 @@ package core
 
 import (
 	"cfpgrowth/internal/encoding"
+	"cfpgrowth/internal/obs"
 )
 
 // Insert adds a transaction given as strictly increasing item ranks
@@ -150,6 +151,7 @@ func (t *Tree) descendChain(off uint64, pos *int, parentRank *int64, ref, ownerR
 // (0 < j < len): the chain splits into a head carrying the new pcount
 // and a tail preserving the original pcount and suffix.
 func (t *Tree) splitChainEnd(off uint64, size int, c chainNode, j int, weight uint32, ref, ownerRef slotRef) {
+	t.rec.Add(obs.CtrChainSplits, 1)
 	t.freeNode(off, size)
 	t.numChains--
 	tail := t.makePiece(c.deltas[j:], c.pcount, c.suffix)
@@ -162,6 +164,7 @@ func (t *Tree) splitChainEnd(off uint64, size int, c chainNode, j int, weight ui
 // node holding the new branch as a BST child; elements before and after
 // become separate pieces.
 func (t *Tree) splitChainDiverge(off uint64, size int, c chainNode, j int, pr int64, rest []uint32, weight uint32, ref, ownerRef slotRef) {
+	t.rec.Add(obs.CtrChainSplits, 1)
 	t.freeNode(off, size)
 	t.numChains--
 	L := len(c.deltas)

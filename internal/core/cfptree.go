@@ -2,6 +2,7 @@ package core
 
 import (
 	"cfpgrowth/internal/arena"
+	"cfpgrowth/internal/obs"
 )
 
 // Config controls the optional compression features of the CFP-tree.
@@ -55,6 +56,9 @@ type Tree struct {
 	// itemCount is the support of each item rank within this tree.
 	itemCount []uint64
 	numTx     uint64 // total inserted weight; equals the sum of all pcounts
+	// rec, when non-nil, receives structural-event counters (chain
+	// splits/extends, conversion triples). Nil-safe per package obs.
+	rec *obs.Recorder
 }
 
 // NewTree returns an empty CFP-tree using the given arena for node
@@ -67,6 +71,12 @@ func NewTree(a *arena.Arena, cfg Config, itemName []uint32, itemCount []uint64) 
 
 // NumNodes returns the number of logical FP-tree nodes.
 func (t *Tree) NumNodes() int { return t.numNodes }
+
+// Observe attaches a recorder to the tree's structural events (chain
+// splits and extends during Insert, triples written by conversion).
+// A nil rec detaches; observation is zero-cost beyond one nil check
+// at each (infrequent) event site.
+func (t *Tree) Observe(rec *obs.Recorder) { t.rec = rec }
 
 // SetItemSpace re-points the tree's item metadata. Callers that grow
 // the item universe incrementally (updatable indexes with a fixed,
@@ -146,6 +156,7 @@ func (t *Tree) setSlot(r slotRef, v slotVal, ownerRef slotRef) {
 		deltas := append([]byte(nil), c.deltas...)
 		c.deltas = deltas
 		c.suffix = v
+		t.rec.Add(obs.CtrChainExtends, 1)
 		t.replaceChain(r.owner, oldSize, c, ownerRef)
 		return
 	}

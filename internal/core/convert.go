@@ -3,6 +3,7 @@ package core
 import (
 	"cfpgrowth/internal/encoding"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 // Convert transforms a ternary CFP-tree into a CFP-array (§3.5). The
@@ -69,6 +70,9 @@ func ConvertCtl(t *Tree, ctl *mine.Control) (*Array, error) {
 	if !t.WalkUntil(wp, stop) {
 		return nil, ctl.Err()
 	}
+	// One triple per logical node was written; count them wholesale so
+	// the hot per-node path stays untouched.
+	t.rec.Add(obs.CtrTriples, int64(t.numNodes))
 	return a, nil
 }
 

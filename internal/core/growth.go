@@ -6,6 +6,7 @@ import (
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 // Growth is the CFP-growth miner: FP-growth running on the CFP-tree in
@@ -25,6 +26,10 @@ type Growth struct {
 	// mining phases: once stopped (cancellation, deadline, budget), the
 	// run aborts promptly with the stop cause.
 	Ctl *mine.Control
+	// Rec, when non-nil, records phase spans, structure counters, and
+	// modeled-byte gauges for the run (nil disables all observability
+	// at the cost of one nil check per instrumentation site).
+	Rec *obs.Recorder
 }
 
 // Name implements mine.Miner.
@@ -35,7 +40,9 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	if err := g.Ctl.Err(); err != nil {
 		return err
 	}
+	sp := g.Rec.Start(obs.PhasePass1)
 	counts, err := dataset.CountItems(src)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -53,22 +60,21 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 		itemName[i] = rec.Decode(uint32(i))
 		itemCount[i] = rec.Support(uint32(i))
 	}
-	track := g.Track
-	if track == nil {
-		track = mine.NullTracker{}
-	}
 	m := &cfpGrower{
 		cfg:       g.Config,
 		minSup:    minSupport,
 		maxLen:    g.MaxLen,
 		sink:      sink,
-		track:     track,
+		track:     observedTracker(g.Track, g.Rec),
 		ctl:       g.Ctl,
+		rec:       g.Rec,
 		treeArena: arena.New(),
 	}
 	tree := NewTree(m.treeArena, g.Config, itemName, itemCount)
+	tree.Observe(g.Rec)
 	var buf []uint32
 	var txn int
+	sp = g.Rec.Start(obs.PhaseBuild)
 	err = src.Scan(func(tx []uint32) error {
 		if err := g.Ctl.Err(); err != nil {
 			return err
@@ -83,10 +89,27 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 		}
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}
 	return m.mineTree(tree, nil)
+}
+
+// observedTracker composes a miner's caller-supplied tracker with its
+// observability recorder so one allocation stream feeds both; either
+// side may be nil.
+func observedTracker(track mine.MemTracker, rec *obs.Recorder) mine.MemTracker {
+	switch {
+	case rec == nil && track == nil:
+		return mine.NullTracker{}
+	case rec == nil:
+		return track
+	case track == nil:
+		return rec
+	default:
+		return &mine.TeeTracker{A: track, B: rec}
+	}
 }
 
 // MineArray mines an already-materialized CFP-array (e.g. one
@@ -121,20 +144,20 @@ func MineArray(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mi
 // mining (PFP-style group-dependent shards): an itemset's support in a
 // shard is exact precisely when its least frequent item belongs to the
 // shard's group, so each shard mines exactly its group's ranks.
-func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ranks []uint32, ctl *mine.Control) error {
+// rec, when non-nil, receives the recursion's counters and byte
+// gauges; pass track and rec separately (they are teed internally).
+func MineArrayItems(a *Array, cfg Config, minSupport uint64, sink mine.Sink, track mine.MemTracker, maxLen int, ranks []uint32, ctl *mine.Control, rec *obs.Recorder) error {
 	if minSupport == 0 {
 		minSupport = 1
-	}
-	if track == nil {
-		track = mine.NullTracker{}
 	}
 	m := &cfpGrower{
 		cfg:       cfg,
 		minSup:    minSupport,
 		maxLen:    maxLen,
 		sink:      sink,
-		track:     track,
+		track:     observedTracker(track, rec),
 		ctl:       ctl,
+		rec:       rec,
 		treeArena: arena.New(),
 	}
 	for _, rk := range ranks {
@@ -156,6 +179,7 @@ type cfpGrower struct {
 	sink      mine.Sink
 	track     mine.MemTracker
 	ctl       *mine.Control // nil = never canceled
+	rec       *obs.Recorder // nil = no observability
 	treeArena *arena.Arena  // one CFP-tree at a time (§4.1)
 	emitBuf   []uint32
 	pathBuf   []uint32
@@ -167,7 +191,14 @@ func (m *cfpGrower) emit(prefix []uint32, support uint64) error {
 	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
 	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
-	return m.sink.Emit(m.emitBuf, support)
+	if err := m.sink.Emit(m.emitBuf, support); err != nil {
+		return err
+	}
+	// Counted only after a successful delivery, so the counter always
+	// equals the number of itemsets the sink observed — also under
+	// mid-run cancellation.
+	m.rec.Add(obs.CtrItemsets, 1)
+	return nil
 }
 
 // mineTree converts a freshly built CFP-tree into a CFP-array and mines
@@ -175,14 +206,39 @@ func (m *cfpGrower) emit(prefix []uint32, support uint64) error {
 // In all cases the tree arena is released (reset) before recursing, so
 // at most one tree is ever alive.
 func (m *cfpGrower) mineTree(t *Tree, prefix []uint32) error {
+	top := len(prefix) == 0
+	if m.rec != nil {
+		// Fold this tree's composition into the run counters before it
+		// is converted and recycled; three atomic adds per tree.
+		std, chains, embedded := t.PhysNodes()
+		m.rec.Add(obs.CtrStdNodes, int64(std))
+		m.rec.Add(obs.CtrChainNodes, int64(chains))
+		m.rec.Add(obs.CtrEmbeddedLeaves, int64(embedded))
+		m.rec.Add(obs.CtrLogicalNodes, int64(t.NumNodes()))
+		if !top {
+			m.rec.Add(obs.CtrCondTrees, 1)
+			m.rec.ObserveDepth(len(prefix))
+		}
+	}
 	treeBytes := t.Extent()
 	m.track.Alloc(treeBytes)
 	if path, ok := t.SinglePath(); ok {
 		m.treeArena.Reset()
 		m.track.Free(treeBytes)
-		return m.minePath(t, path, prefix)
+		var sp obs.Span
+		if top {
+			sp = m.rec.Start(obs.PhaseMine)
+		}
+		err := m.minePath(t, path, prefix)
+		sp.End()
+		return err
+	}
+	var sp obs.Span
+	if top {
+		sp = m.rec.Start(obs.PhaseConvert)
 	}
 	arr, err := ConvertCtl(t, m.ctl)
+	sp.End()
 	if err != nil {
 		m.treeArena.Reset()
 		m.track.Free(treeBytes)
@@ -191,7 +247,12 @@ func (m *cfpGrower) mineTree(t *Tree, prefix []uint32) error {
 	m.treeArena.Reset()
 	m.track.Free(treeBytes)
 	m.track.Alloc(arr.Bytes())
+	sp = obs.Span{}
+	if top {
+		sp = m.rec.Start(obs.PhaseMine)
+	}
 	err = m.mineArray(arr, prefix)
+	sp.End()
 	m.track.Free(arr.Bytes())
 	return err
 }
@@ -294,6 +355,7 @@ func (m *cfpGrower) conditional(a *Array, rank uint32) *Tree {
 	}
 	m.treeArena.Reset()
 	cond := NewTree(m.treeArena, m.cfg, a.itemName[:rank], condCount)
+	cond.Observe(m.rec)
 	a.ScanItem(rank, func(e Element) bool {
 		m.pathBuf = a.PathTo(e, m.pathBuf[:0])
 		// PathTo yields ranks nearest-first; reverse to root-first,

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
+)
+
+// obsDB generates a deterministic database dense enough to exercise
+// conditional trees, chains, and embedded leaves.
+func obsDB(tx, maxLen, items int) dataset.Slice {
+	rng := rand.New(rand.NewSource(7))
+	db := make(dataset.Slice, tx)
+	for i := range db {
+		n := 1 + rng.Intn(maxLen)
+		t := make([]uint32, n)
+		for j := range t {
+			t[j] = uint32(rng.Intn(items))
+		}
+		db[i] = t
+	}
+	return db
+}
+
+// TestObsItemsetCounterMatchesSink: the itemsets counter must equal
+// the number of emissions the sink accepted, in serial and parallel
+// runs.
+func TestObsItemsetCounterMatchesSink(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	for _, tc := range []struct {
+		name  string
+		miner func(rec *obs.Recorder) mine.Miner
+	}{
+		{"serial", func(rec *obs.Recorder) mine.Miner { return Growth{Rec: rec} }},
+		{"parallel", func(rec *obs.Recorder) mine.Miner { return ParallelGrowth{Workers: 4, Rec: rec} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := obs.New(nil)
+			var sink mine.CountSink
+			if err := tc.miner(rec).Mine(db, 10, &sink); err != nil {
+				t.Fatal(err)
+			}
+			if sink.N == 0 {
+				t.Fatal("degenerate run: no itemsets")
+			}
+			if got := rec.Count(obs.CtrItemsets); got != int64(sink.N) {
+				t.Errorf("itemsets counter = %d, sink saw %d", got, sink.N)
+			}
+			if rec.Count(obs.CtrLogicalNodes) == 0 {
+				t.Error("no logical nodes counted")
+			}
+			if rec.Count(obs.CtrCondTrees) == 0 {
+				t.Error("no conditional trees counted")
+			}
+			if rec.MaxDepth() == 0 {
+				t.Error("no recursion depth observed")
+			}
+			phases := rec.Phases()
+			for _, want := range []string{obs.PhasePass1, obs.PhaseBuild, obs.PhaseMine} {
+				if _, ok := phases[want]; !ok {
+					t.Errorf("phase %q missing from %v", want, phases)
+				}
+			}
+		})
+	}
+}
+
+var errSinkFull = errors.New("sink full")
+
+// failAfterSink accepts limit emissions, then fails every Emit.
+type failAfterSink struct {
+	n     atomic.Int64
+	limit int64
+}
+
+func (s *failAfterSink) Emit(items []uint32, support uint64) error {
+	if s.n.Add(1) > s.limit {
+		s.n.Add(-1)
+		return errSinkFull
+	}
+	return nil
+}
+
+// TestObsItemsetCounterUnderCancellation: when a mid-run sink failure
+// stops the run, the counter must still equal exactly the emissions
+// the sink accepted — not the attempts — because the miners count
+// after successful delivery.
+func TestObsItemsetCounterUnderCancellation(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	for _, tc := range []struct {
+		name  string
+		miner func(rec *obs.Recorder, ctl *mine.Control) mine.Miner
+	}{
+		{"serial", func(rec *obs.Recorder, ctl *mine.Control) mine.Miner {
+			return Growth{Rec: rec, Ctl: ctl}
+		}},
+		{"parallel", func(rec *obs.Recorder, ctl *mine.Control) mine.Miner {
+			return ParallelGrowth{Workers: 4, Rec: rec, Ctl: ctl}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := obs.New(nil)
+			ctl := &mine.Control{}
+			inner := &failAfterSink{limit: 10}
+			sink := &mine.ControlSink{Inner: inner, Ctl: ctl}
+			err := tc.miner(rec, ctl).Mine(db, 5, sink)
+			if !errors.Is(err, errSinkFull) {
+				t.Fatalf("err = %v, want errSinkFull", err)
+			}
+			if got, accepted := rec.Count(obs.CtrItemsets), inner.n.Load(); got != accepted {
+				t.Errorf("itemsets counter = %d, sink accepted %d", got, accepted)
+			}
+		})
+	}
+}
+
+// TestObsTopKSinkCounter: filtering sinks (mine/filter.go) accept
+// every emission even when they later discard it, so the counter
+// tracks total emissions, not the filtered survivor set.
+func TestObsTopKSinkCounter(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	rec := obs.New(nil)
+	sink := &mine.TopKSink{K: 5, MinLen: 2}
+	if err := (Growth{Rec: rec}).Mine(db, 10, sink); err != nil {
+		t.Fatal(err)
+	}
+	var plain mine.CountSink
+	if err := (Growth{}).Mine(db, 10, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Count(obs.CtrItemsets); got != int64(plain.N) {
+		t.Errorf("itemsets counter = %d, want %d (all emissions, pre-filter)", got, plain.N)
+	}
+	if res := sink.Result(); len(res) > 5 {
+		t.Errorf("top-k kept %d itemsets, want <= 5", len(res))
+	}
+}
+
+// TestObsPeakMatchesControl: teeing the control's budget ledger and
+// the recorder from the same tracker stream must give identical
+// high-water marks — the invariant BENCH_*.json relies on.
+func TestObsPeakMatchesControl(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	for _, tc := range []struct {
+		name  string
+		miner func(rec *obs.Recorder, ctl *mine.Control, track mine.MemTracker) mine.Miner
+	}{
+		{"serial", func(rec *obs.Recorder, ctl *mine.Control, track mine.MemTracker) mine.Miner {
+			return Growth{Rec: rec, Ctl: ctl, Track: track}
+		}},
+		{"parallel", func(rec *obs.Recorder, ctl *mine.Control, track mine.MemTracker) mine.Miner {
+			return ParallelGrowth{Workers: 4, Rec: rec, Ctl: ctl, Track: track}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := obs.New(nil)
+			ctl := &mine.Control{}
+			track := &mine.BudgetTracker{Ctl: ctl}
+			var sink mine.CountSink
+			if err := tc.miner(rec, ctl, track).Mine(db, 10, &sink); err != nil {
+				t.Fatal(err)
+			}
+			if ctl.PeakBytes() == 0 {
+				t.Fatal("control saw no allocations")
+			}
+			if rec.PeakBytes() != ctl.PeakBytes() {
+				t.Errorf("recorder peak %d != control peak %d", rec.PeakBytes(), ctl.PeakBytes())
+			}
+		})
+	}
+}
+
+// TestObsTreeCounters: chain splits and extends are recorded by an
+// observed tree as insertions reshape chains.
+func TestObsTreeCounters(t *testing.T) {
+	db := obsDB(500, 10, 40)
+	rec := obs.New(nil)
+	var sink mine.CountSink
+	if err := (Growth{Rec: rec}).Mine(db, 5, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(obs.CtrChainSplits) == 0 {
+		t.Error("no chain splits counted (dataset should force divergence)")
+	}
+	std := rec.Count(obs.CtrStdNodes)
+	chains := rec.Count(obs.CtrChainNodes)
+	embedded := rec.Count(obs.CtrEmbeddedLeaves)
+	if std == 0 || chains == 0 || embedded == 0 {
+		t.Errorf("node-kind counters = std %d, chains %d, embedded %d; want all > 0", std, chains, embedded)
+	}
+	if rec.Count(obs.CtrTriples) == 0 {
+		t.Error("no CFP-array triples counted")
+	}
+}
+
+// TestObsSerialParallelAgree: both miners must count the same number
+// of emitted itemsets for the same input.
+func TestObsSerialParallelAgree(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	recS, recP := obs.New(nil), obs.New(nil)
+	var s1, s2 mine.CountSink
+	if err := (Growth{Rec: recS}).Mine(db, 10, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ParallelGrowth{Workers: 4, Rec: recP}).Mine(db, 10, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if recS.Count(obs.CtrItemsets) != recP.Count(obs.CtrItemsets) {
+		t.Errorf("serial counted %d itemsets, parallel %d",
+			recS.Count(obs.CtrItemsets), recP.Count(obs.CtrItemsets))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 // ParallelGrowth is CFP-growth with the mine phase parallelized across
@@ -30,6 +31,10 @@ type ParallelGrowth struct {
 	// first-error propagation between workers never depends on the
 	// caller wiring one up.
 	Ctl *mine.Control
+	// Rec, when non-nil, records phase spans, structure counters, and
+	// modeled-byte gauges; a single recorder is shared by all workers
+	// (its counters and gauges are atomic).
+	Rec *obs.Recorder
 }
 
 // Name implements mine.Miner.
@@ -52,7 +57,9 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	if err := ctl.Err(); err != nil {
 		return err
 	}
+	sp := g.Rec.Start(obs.PhasePass1)
 	counts, err := dataset.CountItems(src)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -70,14 +77,21 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		itemName[i] = rec.Decode(uint32(i))
 		itemCount[i] = rec.Support(uint32(i))
 	}
+	// The caller's tracker needs a mutex under concurrent workers; the
+	// recorder is atomic and is teed in unsynchronized.
 	var track mine.MemTracker = mine.NullTracker{}
 	if g.Track != nil {
 		track = &mine.SyncTracker{Inner: g.Track}
 	}
+	if g.Rec != nil {
+		track = &mine.TeeTracker{A: track, B: g.Rec}
+	}
 	buildArena := arena.New()
 	tree := NewTree(buildArena, g.Config, itemName, itemCount)
+	tree.Observe(g.Rec)
 	var buf []uint32
 	var txn int
+	sp = g.Rec.Start(obs.PhaseBuild)
 	err = src.Scan(func(tx []uint32) error {
 		if err := ctl.Err(); err != nil {
 			return err
@@ -89,11 +103,21 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		}
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}
+	if g.Rec != nil {
+		std, chains, embedded := tree.PhysNodes()
+		g.Rec.Add(obs.CtrStdNodes, int64(std))
+		g.Rec.Add(obs.CtrChainNodes, int64(chains))
+		g.Rec.Add(obs.CtrEmbeddedLeaves, int64(embedded))
+		g.Rec.Add(obs.CtrLogicalNodes, int64(tree.NumNodes()))
+	}
 	track.Alloc(tree.Extent())
+	sp = g.Rec.Start(obs.PhaseConvert)
 	arr, err := ConvertCtl(tree, ctl)
+	sp.End()
 	if err != nil {
 		track.Free(tree.Extent())
 		return err
@@ -123,6 +147,11 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		jobs <- rk
 	}
 	close(jobs)
+	// One mine span covers the whole worker pool: per-conditional
+	// spans would swamp the trace, and the pool's wall time is the
+	// phase the paper plots.
+	sp = g.Rec.Start(obs.PhaseMine)
+	defer sp.End()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -135,6 +164,7 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 				sink:      ssink,
 				track:     track,
 				ctl:       ctl,
+				rec:       g.Rec,
 				treeArena: arena.New(),
 			}
 			for rk := range jobs {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"cfpgrowth/internal/encoding"
+	"cfpgrowth/internal/obs"
 )
 
 // FieldHistogram tallies, for one logical field, how many nodes have
@@ -47,8 +48,11 @@ type TreeStats struct {
 	StdNodes, ChainNodes, EmbeddedLeaves int
 }
 
-// Stats computes TreeStats by walking the tree.
+// Stats computes TreeStats by walking the tree. When a recorder is
+// attached (Observe), the walk is charged to the "stats" phase so
+// statistics passes are distinguishable from mining time in traces.
 func (t *Tree) Stats() TreeStats {
+	sp := t.rec.Start(obs.PhaseStats)
 	s := TreeStats{
 		Nodes: t.NumNodes(),
 		Bytes: t.Bytes(),
@@ -59,6 +63,7 @@ func (t *Tree) Stats() TreeStats {
 	if s.Nodes > 0 {
 		s.AvgNodeSize = float64(s.Bytes) / float64(s.Nodes)
 	}
+	sp.End()
 	return s
 }
 

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cfpgrowth/internal/core"
+	"cfpgrowth/internal/dataset"
+	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
+)
+
+// BenchSchemaVersion is the schema_version of BENCH_*.json records;
+// bump it on incompatible changes (docs/FORMAT.md §6).
+const BenchSchemaVersion = 1
+
+// BenchPhase is one phase's aggregate inside a BenchRecord.
+type BenchPhase struct {
+	// Count is the number of spans folded into the aggregate.
+	Count int64 `json:"count"`
+	// Millis is the phase's total wall time.
+	Millis float64 `json:"millis"`
+	// BytesDelta is the summed modeled-byte delta across the spans.
+	BytesDelta int64 `json:"bytes_delta"`
+}
+
+// BenchRecord is one benchmark run in the BENCH_*.json format: the
+// machine-readable counterpart of the run summary cmd/cfpmine prints,
+// produced by cmd/experiments -json-out and consumed by plotting and
+// regression tooling. Field semantics are documented in docs/FORMAT.md
+// §6.
+type BenchRecord struct {
+	SchemaVersion int     `json:"schema_version"`
+	Dataset       string  `json:"dataset"`
+	Algo          string  `json:"algo"`
+	Scale         int     `json:"scale"`
+	RelSupport    float64 `json:"rel_support"`
+	AbsSupport    uint64  `json:"abs_support"`
+	Transactions  uint64  `json:"transactions"`
+	// WallMillis is the end-to-end run wall time; the phase times in
+	// Phases sum to approximately (not exactly) this value, the
+	// remainder being inter-phase glue such as recoder setup.
+	WallMillis float64               `json:"wall_ms"`
+	Phases     map[string]BenchPhase `json:"phases"`
+	// PeakBytes is the modeled-memory high-water mark of the run's
+	// mine.Control ledger (identical to the recorder's by
+	// construction: both observe the same allocation stream).
+	PeakBytes int64            `json:"peak_bytes"`
+	Itemsets  int64            `json:"itemsets"`
+	MaxDepth  int64            `json:"max_depth"`
+	Counters  map[string]int64 `json:"counters"`
+	// GeneratedAt is an RFC 3339 timestamp; empty in deterministic
+	// test fixtures.
+	GeneratedAt string `json:"generated_at,omitempty"`
+}
+
+// BenchOne mines db once with the serial CFP-growth miner under a
+// fresh recorder and control and returns the filled record. The
+// control's byte ledger and the recorder observe the same allocation
+// stream, so record.PeakBytes (taken from the control) equals the
+// recorder's high-water mark.
+func (c Config) BenchOne(name string, db dataset.Slice, relSup float64) (BenchRecord, error) {
+	if err := c.Ctl.Err(); err != nil {
+		return BenchRecord{}, err
+	}
+	counts, err := dataset.CountItems(db)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	absSup := dataset.AbsoluteSupport(relSup, counts.NumTx)
+	// A private control keeps the ledger (and its peak) scoped to this
+	// run even when the harness shares a Control across experiments.
+	ctl := &mine.Control{}
+	rec := obs.New(nil)
+	g := core.Growth{
+		Track: &mine.BudgetTracker{Ctl: ctl},
+		Ctl:   ctl,
+		Rec:   rec,
+	}
+	var sink mine.CountSink
+	start := time.Now()
+	if err := g.Mine(db, absSup, &sink); err != nil {
+		return BenchRecord{}, err
+	}
+	wall := time.Since(start)
+	snap := rec.Snapshot()
+	r := BenchRecord{
+		SchemaVersion: BenchSchemaVersion,
+		Dataset:       name,
+		Algo:          g.Name(),
+		Scale:         c.Scale,
+		RelSupport:    relSup,
+		AbsSupport:    absSup,
+		Transactions:  counts.NumTx,
+		WallMillis:    float64(wall) / 1e6,
+		Phases:        make(map[string]BenchPhase, len(snap.Phases)),
+		PeakBytes:     ctl.PeakBytes(),
+		Itemsets:      rec.Count(obs.CtrItemsets),
+		MaxDepth:      snap.MaxDepth,
+		Counters:      snap.Counters,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+	for name, ps := range snap.Phases {
+		r.Phases[name] = BenchPhase{Count: ps.Count, Millis: ps.Millis(), BytesDelta: ps.Bytes}
+	}
+	return r, nil
+}
+
+// BenchAll benchmarks the standard datasets (Quest1 and Quest2 at the
+// configured scale) at relative support 0.01 and returns one record
+// per dataset.
+func (c Config) BenchAll() ([]BenchRecord, error) {
+	const relSup = 0.01
+	var out []BenchRecord
+	for _, d := range []struct {
+		name string
+		db   dataset.Slice
+	}{
+		{"quest1", c.Quest1()},
+		{"quest2", c.Quest2()},
+	} {
+		r, err := c.BenchOne(d.name, d.db, relSup)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", d.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON runs BenchAll and writes each record to
+// dir/BENCH_<dataset>.json, returning the paths written.
+func (c Config) WriteBenchJSON(dir string) ([]string, error) {
+	recs, err := c.BenchAll()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, r := range recs {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Dataset))
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// ValidateBenchJSON parses and validates one BENCH_*.json file,
+// returning the record on success. It is the check CI's bench-smoke
+// job runs over freshly generated records.
+func ValidateBenchJSON(path string) (BenchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r BenchRecord
+	if err := dec.Decode(&r); err != nil {
+		return BenchRecord{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := ValidateBenchRecord(r); err != nil {
+		return BenchRecord{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ValidateBenchRecord checks a record's internal consistency: schema
+// version, required fields, and that the recorded phase times sum to
+// no more than the total wall time (they nest inside it) while
+// covering most of it.
+func ValidateBenchRecord(r BenchRecord) error {
+	if r.SchemaVersion != BenchSchemaVersion {
+		return fmt.Errorf("bench: schema_version %d, want %d", r.SchemaVersion, BenchSchemaVersion)
+	}
+	if r.Dataset == "" || r.Algo == "" {
+		return fmt.Errorf("bench: dataset and algo are required")
+	}
+	if r.Transactions == 0 {
+		return fmt.Errorf("bench: transactions is zero")
+	}
+	if r.AbsSupport == 0 {
+		return fmt.Errorf("bench: abs_support is zero")
+	}
+	if r.PeakBytes <= 0 {
+		return fmt.Errorf("bench: peak_bytes %d, want > 0", r.PeakBytes)
+	}
+	if r.Itemsets <= 0 {
+		return fmt.Errorf("bench: itemsets %d, want > 0", r.Itemsets)
+	}
+	if r.WallMillis <= 0 {
+		return fmt.Errorf("bench: wall_ms %v, want > 0", r.WallMillis)
+	}
+	if len(r.Phases) == 0 {
+		return fmt.Errorf("bench: no phases recorded")
+	}
+	var phaseSum float64
+	for name, p := range r.Phases {
+		if p.Millis < 0 {
+			return fmt.Errorf("bench: phase %s has negative time", name)
+		}
+		if name != obs.PhaseStats { // stats walks overlap other phases
+			phaseSum += p.Millis
+		}
+	}
+	// Phases nest inside the wall clock; tolerate 5% measurement slop.
+	if phaseSum > r.WallMillis*1.05 {
+		return fmt.Errorf("bench: phase sum %.2f ms exceeds wall %.2f ms", phaseSum, r.WallMillis)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfpgrowth/internal/obs"
+)
+
+// benchConfig is small enough for unit tests.
+func benchConfig() Config {
+	return Config{Scale: 20000, Quick: true}.WithDefaults()
+}
+
+func TestBenchOneRecord(t *testing.T) {
+	c := benchConfig()
+	r, err := c.BenchOne("quest1", c.Quest1(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchRecord(r); err != nil {
+		t.Fatalf("fresh record invalid: %v", err)
+	}
+	if r.Dataset != "quest1" || r.Algo != "cfpgrowth" {
+		t.Errorf("identity = %s/%s", r.Dataset, r.Algo)
+	}
+	for _, want := range []string{obs.PhasePass1, obs.PhaseBuild, obs.PhaseMine} {
+		if _, ok := r.Phases[want]; !ok {
+			t.Errorf("phase %q missing from %v", want, r.Phases)
+		}
+	}
+	if r.Counters["itemsets"] != r.Itemsets {
+		t.Errorf("counters[itemsets] = %d, itemsets field = %d", r.Counters["itemsets"], r.Itemsets)
+	}
+	if r.MaxDepth == 0 {
+		t.Error("max_depth = 0, want conditional recursion observed")
+	}
+}
+
+func TestWriteAndValidateBenchJSON(t *testing.T) {
+	c := benchConfig()
+	dir := t.TempDir()
+	paths, err := c.WriteBenchJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d files, want 2", len(paths))
+	}
+	for _, p := range paths {
+		base := filepath.Base(p)
+		if !strings.HasPrefix(base, "BENCH_") || !strings.HasSuffix(base, ".json") {
+			t.Errorf("unexpected file name %s", base)
+		}
+		r, err := ValidateBenchJSON(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if r.SchemaVersion != BenchSchemaVersion {
+			t.Errorf("%s: schema %d", p, r.SchemaVersion)
+		}
+	}
+}
+
+func TestValidateBenchJSONRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name, body, wantErr string
+	}{
+		{"unknown-field.json", `{"schema_version":1,"bogus":true}`, "bogus"},
+		{"bad-version.json", `{"schema_version":99,"dataset":"d","algo":"a"}`, "schema_version"},
+		{"not-json.json", `{`, "unexpected"},
+		{"empty-run.json", `{"schema_version":1,"dataset":"d","algo":"a","transactions":0}`, "transactions"},
+	} {
+		_, err := ValidateBenchJSON(write(tc.name, tc.body))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestValidateBenchRecordPhaseSum(t *testing.T) {
+	r := BenchRecord{
+		SchemaVersion: BenchSchemaVersion,
+		Dataset:       "d", Algo: "a",
+		Transactions: 10, AbsSupport: 2,
+		PeakBytes: 1, Itemsets: 1,
+		WallMillis: 10,
+		Phases: map[string]BenchPhase{
+			obs.PhaseMine: {Count: 1, Millis: 50}, // 5x the wall clock
+		},
+	}
+	if err := ValidateBenchRecord(r); err == nil {
+		t.Error("phase sum exceeding wall time not rejected")
+	}
+	r.Phases[obs.PhaseMine] = BenchPhase{Count: 1, Millis: 9}
+	if err := ValidateBenchRecord(r); err != nil {
+		t.Errorf("consistent record rejected: %v", err)
+	}
+}

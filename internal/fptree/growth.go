@@ -5,6 +5,7 @@ import (
 
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 // Growth is the FP-growth baseline miner (§2.1) operating on classic
@@ -20,6 +21,10 @@ type Growth struct {
 	// recursion so a stopped run (cancellation, deadline, budget)
 	// aborts promptly with the stop cause.
 	Ctl *mine.Control
+	// Rec, when non-nil, records phase spans, itemset counts, and
+	// modeled-byte gauges, making baseline runs comparable to
+	// CFP-growth runs in the same trace.
+	Rec *obs.Recorder
 }
 
 // Name implements mine.Miner.
@@ -30,7 +35,9 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	if err := g.Ctl.Err(); err != nil {
 		return err
 	}
+	sp := g.Rec.Start(obs.PhasePass1)
 	counts, err := dataset.CountItems(src)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -50,6 +57,7 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	}
 	tree := New(itemName, itemCount)
 	var buf []uint32
+	sp = g.Rec.Start(obs.PhaseBuild)
 	err = src.Scan(func(tx []uint32) error {
 		if err := g.Ctl.Err(); err != nil {
 			return err
@@ -58,10 +66,23 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 		tree.Insert(buf, 1)
 		return nil
 	})
+	sp.End()
 	if err != nil {
 		return err
 	}
-	return mineTreeCtl(tree, minSupport, sink, g.Track, 0, g.MaxLen, g.Ctl)
+	g.Rec.Add(obs.CtrLogicalNodes, int64(tree.NumNodes()))
+	track := g.Track
+	if g.Rec != nil {
+		if track == nil {
+			track = g.Rec
+		} else {
+			track = &mine.TeeTracker{A: track, B: g.Rec}
+		}
+	}
+	sp = g.Rec.Start(obs.PhaseMine)
+	err = mineTreeCtl(tree, minSupport, sink, track, 0, g.MaxLen, g.Ctl, g.Rec)
+	sp.End()
+	return err
 }
 
 // MineTree runs the FP-growth recursion over an already-built tree,
@@ -78,7 +99,7 @@ func MineTree(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTrack
 // MineTreeMaxLen is MineTree with the search pruned at itemsets of
 // maxLen items (0 = unlimited).
 func MineTreeMaxLen(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int) error {
-	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, nil)
+	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, nil, nil)
 }
 
 // MineTreeCtl is MineTreeMaxLen with a cancellation/budget control
@@ -86,17 +107,17 @@ func MineTreeMaxLen(tree *Tree, minSupport uint64, sink mine.Sink, track mine.Me
 // stop-check, so variant algorithms reusing this recursion inherit the
 // no-emission-after-stop invariant. A nil ctl never stops.
 func MineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control) error {
-	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, ctl)
+	return mineTreeCtl(tree, minSupport, sink, track, nodeBytes, maxLen, ctl, nil)
 }
 
-func mineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control) error {
+func mineTreeCtl(tree *Tree, minSupport uint64, sink mine.Sink, track mine.MemTracker, nodeBytes int64, maxLen int, ctl *mine.Control, rec *obs.Recorder) error {
 	if track == nil {
 		track = mine.NullTracker{}
 	}
 	if nodeBytes == 0 {
 		nodeBytes = BaselineNodeSize
 	}
-	m := &grower{minSup: minSupport, maxLen: maxLen, sink: sink, track: track, nodeBytes: nodeBytes, ctl: ctl}
+	m := &grower{minSup: minSupport, maxLen: maxLen, sink: sink, track: track, nodeBytes: nodeBytes, ctl: ctl, rec: rec}
 	track.Alloc(nodeBytes * int64(tree.NumNodes()))
 	defer track.Free(nodeBytes * int64(tree.NumNodes()))
 	return m.mine(tree, nil)
@@ -110,6 +131,7 @@ type grower struct {
 	track     mine.MemTracker
 	nodeBytes int64
 	ctl       *mine.Control // nil = never canceled
+	rec       *obs.Recorder // nil = no observability
 	emitBuf   []uint32
 }
 
@@ -120,7 +142,13 @@ func (m *grower) emit(prefix []uint32, support uint64) error {
 	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
 	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
-	return m.sink.Emit(m.emitBuf, support)
+	if err := m.sink.Emit(m.emitBuf, support); err != nil {
+		return err
+	}
+	// Counted after delivery so the counter matches the sink's view
+	// under mid-run cancellation.
+	m.rec.Add(obs.CtrItemsets, 1)
+	return nil
 }
 
 // mine emits every frequent itemset that extends prefix with items of
@@ -150,6 +178,11 @@ func (m *grower) mine(t *Tree, prefix []uint32) error {
 			cond = m.conditional(t, uint32(rk))
 		}
 		if cond != nil {
+			if m.rec != nil {
+				m.rec.Add(obs.CtrCondTrees, 1)
+				m.rec.Add(obs.CtrLogicalNodes, int64(cond.NumNodes()))
+				m.rec.ObserveDepth(len(prefix))
+			}
 			bytes := m.nodeBytes * int64(cond.NumNodes())
 			m.track.Alloc(bytes)
 			err := m.mine(cond, prefix)

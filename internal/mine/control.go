@@ -31,8 +31,29 @@ type Control struct {
 
 	stopped atomic.Bool  // fast-path flag; cause below is authoritative
 	bytes   atomic.Int64 // modeled bytes currently charged
+	peak    atomic.Int64 // high-water mark of bytes; monotone
 	mu      sync.Mutex
 	cause   error
+}
+
+// Bytes returns the modeled bytes currently charged.
+func (c *Control) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes.Load()
+}
+
+// PeakBytes returns the high-water mark of the byte ledger: the
+// largest footprint Charge ever recorded. It is monotone for the
+// Control's lifetime, also under concurrent Charge/Release, and is
+// maintained whether or not a MaxBytes budget is set — it is the
+// run-summary peak the paper's Figures 7(b)/7(d) plot.
+func (c *Control) PeakBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.peak.Load()
 }
 
 // Err returns the stop cause, or nil while the run may continue. The
@@ -68,14 +89,21 @@ func (c *Control) Stop(cause error) bool {
 	return true
 }
 
-// Charge adds n modeled bytes to the budget account and stops the run
-// with ErrBudgetExceeded when the total passes MaxBytes. No-op when no
-// budget is set.
+// Charge adds n modeled bytes to the budget account, advances the
+// peak high-water mark, and stops the run with ErrBudgetExceeded when
+// the total passes MaxBytes (the stop only applies when a budget is
+// set; the ledger and peak are always maintained).
 func (c *Control) Charge(n int64) {
 	if c == nil {
 		return
 	}
 	cur := c.bytes.Add(n)
+	for {
+		peak := c.peak.Load()
+		if cur <= peak || c.peak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
 	if c.MaxBytes > 0 && cur > c.MaxBytes {
 		c.Stop(fmt.Errorf("%w: modeled memory %d B over MaxBytes %d B", ErrBudgetExceeded, cur, c.MaxBytes))
 	}

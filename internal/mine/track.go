@@ -27,6 +27,27 @@ func (NullTracker) Alloc(int64) {}
 // Free implements MemTracker.
 func (NullTracker) Free(int64) {}
 
+// TeeTracker forwards every observation to two trackers, in order.
+// It lets a run feed both its budget/peak accounting and an
+// observability recorder from one allocation stream. Concurrency
+// safety is that of the slower branch: wrap a non-atomic branch in a
+// SyncTracker before teeing when workers share it.
+type TeeTracker struct {
+	A, B MemTracker
+}
+
+// Alloc implements MemTracker.
+func (t *TeeTracker) Alloc(n int64) {
+	t.A.Alloc(n)
+	t.B.Alloc(n)
+}
+
+// Free implements MemTracker.
+func (t *TeeTracker) Free(n int64) {
+	t.A.Free(n)
+	t.B.Free(n)
+}
+
 // PeakTracker records current, peak, and a time-averaged (per
 // observation) footprint.
 type PeakTracker struct {

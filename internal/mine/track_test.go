@@ -1,0 +1,117 @@
+package mine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTeeTracker(t *testing.T) {
+	var a, b PeakTracker
+	tee := &TeeTracker{A: &a, B: &b}
+	tee.Alloc(100)
+	tee.Alloc(50)
+	tee.Free(100)
+	for name, p := range map[string]*PeakTracker{"A": &a, "B": &b} {
+		if p.Cur != 50 {
+			t.Errorf("%s.Cur = %d, want 50", name, p.Cur)
+		}
+		if p.Peak != 150 {
+			t.Errorf("%s.Peak = %d, want 150", name, p.Peak)
+		}
+	}
+}
+
+// TestControlPeakBytes checks the Charge/Release ledger's high-water
+// mark: it follows the maximum, not the balance, and never decreases.
+func TestControlPeakBytes(t *testing.T) {
+	var c Control
+	if c.PeakBytes() != 0 {
+		t.Errorf("initial peak = %d, want 0", c.PeakBytes())
+	}
+	c.Charge(100)
+	c.Charge(200)
+	if got := c.PeakBytes(); got != 300 {
+		t.Errorf("peak = %d, want 300", got)
+	}
+	c.Release(250)
+	if got := c.Bytes(); got != 50 {
+		t.Errorf("balance = %d, want 50", got)
+	}
+	if got := c.PeakBytes(); got != 300 {
+		t.Errorf("peak after release = %d, want 300 (monotone)", got)
+	}
+	c.Charge(100) // balance 150, still below peak
+	if got := c.PeakBytes(); got != 300 {
+		t.Errorf("peak after sub-peak charge = %d, want 300", got)
+	}
+}
+
+// TestControlPeakBytesNil: the ledger methods are nil-safe like every
+// other Control method.
+func TestControlPeakBytesNil(t *testing.T) {
+	var c *Control
+	c.Charge(10)
+	c.Release(10)
+	if c.Bytes() != 0 || c.PeakBytes() != 0 {
+		t.Errorf("nil ledger = %d/%d, want 0/0", c.Bytes(), c.PeakBytes())
+	}
+}
+
+// TestControlPeakMonotoneConcurrent is the satellite-task proof: under
+// parallel Charge/Release the peak observed by any goroutine never
+// regresses, and the final peak is bounded by the maximum possible
+// simultaneous footprint.
+func TestControlPeakMonotoneConcurrent(t *testing.T) {
+	var c Control
+	const goroutines, rounds, chunk = 8, 1000, 512
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := int64(0)
+			for i := 0; i < rounds; i++ {
+				c.Charge(chunk)
+				p := c.PeakBytes()
+				if p < prev {
+					t.Errorf("peak regressed: %d after %d", p, prev)
+					return
+				}
+				prev = p
+				c.Release(chunk)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Bytes(); got != 0 {
+		t.Errorf("balance after balanced run = %d, want 0", got)
+	}
+	peak := c.PeakBytes()
+	if peak < chunk || peak > goroutines*chunk {
+		t.Errorf("peak = %d, want within [%d, %d]", peak, chunk, goroutines*chunk)
+	}
+}
+
+// TestBudgetTrackerFeedsPeak: allocations routed through a
+// BudgetTracker maintain the control's peak even without a MaxBytes
+// budget set.
+func TestBudgetTrackerFeedsPeak(t *testing.T) {
+	var c Control
+	var inner PeakTracker
+	bt := &BudgetTracker{Inner: &inner, Ctl: &c}
+	bt.Alloc(1000)
+	bt.Free(400)
+	bt.Alloc(100)
+	if got := c.PeakBytes(); got != 1000 {
+		t.Errorf("control peak = %d, want 1000", got)
+	}
+	if inner.Peak != 1000 {
+		t.Errorf("inner peak = %d, want 1000", inner.Peak)
+	}
+	if c.Bytes() != 700 || inner.Cur != 700 {
+		t.Errorf("balances = %d/%d, want 700/700", c.Bytes(), inner.Cur)
+	}
+	if c.Err() != nil {
+		t.Errorf("no budget set, but control stopped: %v", c.Err())
+	}
+}

@@ -1,0 +1,320 @@
+// Package obs is the run-level observability layer of the mining
+// pipeline: phase-scoped spans carrying wall time and modeled-byte
+// deltas, counters for the structures the paper measures (nodes by
+// physical kind, chain splits, CFP-array triples, emitted itemsets),
+// byte gauges with a high-water mark, and pluggable exporters (a JSONL
+// event sink, an expvar snapshot, an opt-in HTTP endpoint with pprof).
+//
+// The package is stdlib-only and follows the same nil-receiver
+// convention as mine.Control: every method tolerates a nil *Recorder,
+// so instrumented code never branches on "is observability on" — a
+// disabled run pays exactly one nil check per instrumentation site.
+// Counters and gauges are atomic; a single Recorder may be shared by
+// all workers of a parallel run.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase names used by the miners, mirroring the paper's pipeline
+// decomposition (§4.1): the item-counting scan, the tree-building
+// scan, tree→array conversion, and the mining recursion. PhaseShard is
+// the pfp re-sharding pass; PhaseStats covers statistics walks.
+const (
+	PhasePass1   = "pass1"
+	PhaseBuild   = "pass2-build"
+	PhaseConvert = "convert"
+	PhaseMine    = "mine"
+	PhaseShard   = "shard"
+	PhaseStats   = "stats"
+)
+
+// Counter identifies one of the run-level counters. Counters are
+// cumulative over the whole run, across all conditional subproblems
+// and all workers.
+type Counter int
+
+const (
+	// CtrStdNodes, CtrChainNodes and CtrEmbeddedLeaves count the
+	// physical CFP-tree node representations live in each tree when it
+	// is handed to the mine phase (§4.2's composition breakdown),
+	// summed over the initial tree and every conditional tree.
+	CtrStdNodes Counter = iota
+	CtrChainNodes
+	CtrEmbeddedLeaves
+	// CtrLogicalNodes counts logical FP-tree nodes across all trees.
+	CtrLogicalNodes
+	// CtrChainSplits counts chain nodes split by a diverging or
+	// mid-chain-terminating insertion; CtrChainExtends counts suffix
+	// slots appended to previously suffix-less chains.
+	CtrChainSplits
+	CtrChainExtends
+	// CtrTriples counts CFP-array triples written by conversions.
+	CtrTriples
+	// CtrItemsets counts itemsets successfully delivered to the sink.
+	CtrItemsets
+	// CtrCondTrees counts conditional trees built by the recursion.
+	CtrCondTrees
+	numCounters
+)
+
+// counterNames are the stable external names used in snapshots,
+// events, and the BENCH_*.json schema (docs/FORMAT.md).
+var counterNames = [numCounters]string{
+	"std_nodes", "chain_nodes", "embedded_leaves", "logical_nodes",
+	"chain_splits", "chain_extends", "triples", "itemsets", "cond_trees",
+}
+
+// String returns the counter's external name.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return "unknown"
+	}
+	return counterNames[c]
+}
+
+// PhaseStat aggregates the spans of one phase.
+type PhaseStat struct {
+	// Count is the number of completed spans.
+	Count int64 `json:"count"`
+	// Nanos is the total wall time of completed spans.
+	Nanos int64 `json:"ns"`
+	// Bytes is the summed modeled-byte delta (bytes gauge at span end
+	// minus at span start); negative when the phase net-releases.
+	Bytes int64 `json:"bytes_delta"`
+}
+
+// Millis returns the phase's total wall time in milliseconds.
+func (p PhaseStat) Millis() float64 { return float64(p.Nanos) / 1e6 }
+
+// Recorder collects one run's observability state. The zero value is
+// ready to use; New additionally stamps the start time used for event
+// timestamps. All methods are safe for concurrent use and tolerate a
+// nil receiver (every operation becomes a no-op).
+type Recorder struct {
+	counters  [numCounters]atomic.Int64
+	curBytes  atomic.Int64
+	peakBytes atomic.Int64
+	maxDepth  atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]PhaseStat
+	sink   EventSink
+	start  time.Time
+}
+
+// New returns a Recorder, optionally exporting span and summary events
+// to sink (nil disables the event stream; counters and phase
+// aggregates still accumulate).
+func New(sink EventSink) *Recorder {
+	return &Recorder{sink: sink, start: time.Now()}
+}
+
+// Add increments counter c by n.
+func (r *Recorder) Add(c Counter, n int64) {
+	if r == nil || c < 0 || c >= numCounters {
+		return
+	}
+	r.counters[c].Add(n)
+}
+
+// Count returns the current value of counter c.
+func (r *Recorder) Count(c Counter) int64 {
+	if r == nil || c < 0 || c >= numCounters {
+		return 0
+	}
+	return r.counters[c].Load()
+}
+
+// Alloc records n modeled bytes coming into use and advances the
+// high-water mark. Together with Free it makes *Recorder a
+// mine.MemTracker, so it can be teed into any miner's tracker chain.
+func (r *Recorder) Alloc(n int64) {
+	if r == nil {
+		return
+	}
+	cur := r.curBytes.Add(n)
+	for {
+		peak := r.peakBytes.Load()
+		if cur <= peak || r.peakBytes.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Free records n modeled bytes released.
+func (r *Recorder) Free(n int64) {
+	if r != nil {
+		r.curBytes.Add(-n)
+	}
+}
+
+// CurBytes returns the current modeled-byte gauge.
+func (r *Recorder) CurBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.curBytes.Load()
+}
+
+// PeakBytes returns the modeled-byte high-water mark.
+func (r *Recorder) PeakBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.peakBytes.Load()
+}
+
+// ObserveDepth records a conditional-recursion depth; the maximum is
+// kept. The fast path (depth not a new maximum) is one atomic load.
+func (r *Recorder) ObserveDepth(d int) {
+	if r == nil {
+		return
+	}
+	for {
+		max := r.maxDepth.Load()
+		if int64(d) <= max || r.maxDepth.CompareAndSwap(max, int64(d)) {
+			return
+		}
+	}
+}
+
+// MaxDepth returns the deepest conditional recursion observed.
+func (r *Recorder) MaxDepth() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.maxDepth.Load()
+}
+
+// Span is one phase-scoped measurement in flight. The zero value (and
+// any span started on a nil Recorder) is inert: End is a no-op, so
+// conditional instrumentation can declare a span and start it only on
+// some paths.
+type Span struct {
+	rec    *Recorder
+	name   string
+	t0     time.Time
+	bytes0 int64
+}
+
+// Start begins a span of the named phase, capturing wall clock and the
+// current byte gauge.
+func (r *Recorder) Start(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, name: name, t0: time.Now(), bytes0: r.curBytes.Load()}
+}
+
+// End completes the span: its duration and byte delta are folded into
+// the phase aggregate and, when an event sink is attached, exported as
+// one "span" event. End on the zero Span is a no-op; ending the same
+// span twice records it twice, which instrumented code must avoid
+// (cfplint's obsguard checks that every started span is ended exactly
+// once on every path).
+func (sp Span) End() {
+	r := sp.rec
+	if r == nil {
+		return
+	}
+	dur := time.Since(sp.t0)
+	delta := r.curBytes.Load() - sp.bytes0
+	r.mu.Lock()
+	if r.phases == nil {
+		r.phases = make(map[string]PhaseStat)
+	}
+	ps := r.phases[sp.name]
+	ps.Count++
+	ps.Nanos += int64(dur)
+	ps.Bytes += delta
+	r.phases[sp.name] = ps
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink.Record(Event{
+			TimeUnixNano: time.Now().UnixNano(),
+			Ev:           "span",
+			Name:         sp.name,
+			DurNanos:     int64(dur),
+			BytesDelta:   delta,
+			CurBytes:     r.curBytes.Load(),
+			PeakBytes:    r.peakBytes.Load(),
+		})
+	}
+}
+
+// Phases returns a copy of the per-phase aggregates.
+func (r *Recorder) Phases() map[string]PhaseStat {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]PhaseStat, len(r.phases))
+	for k, v := range r.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot is a point-in-time view of the whole recorder, shaped for
+// JSON export (the expvar and /metrics payload).
+type Snapshot struct {
+	UptimeMillis float64              `json:"uptime_ms"`
+	CurBytes     int64                `json:"cur_bytes"`
+	PeakBytes    int64                `json:"peak_bytes"`
+	MaxDepth     int64                `json:"max_depth"`
+	Counters     map[string]int64     `json:"counters"`
+	Phases       map[string]PhaseStat `json:"phases"`
+}
+
+// Snapshot captures the recorder's current state.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		CurBytes:  r.curBytes.Load(),
+		PeakBytes: r.peakBytes.Load(),
+		MaxDepth:  r.maxDepth.Load(),
+		Counters:  make(map[string]int64, numCounters),
+		Phases:    r.Phases(),
+	}
+	if !r.start.IsZero() {
+		s.UptimeMillis = float64(time.Since(r.start)) / 1e6
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := r.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	return s
+}
+
+// EmitSummary exports one "summary" event carrying the full snapshot;
+// callers invoke it at run end so a JSONL trace is self-contained.
+func (r *Recorder) EmitSummary() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sink := r.sink
+	r.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	s := r.Snapshot()
+	sink.Record(Event{
+		TimeUnixNano: time.Now().UnixNano(),
+		Ev:           "summary",
+		CurBytes:     s.CurBytes,
+		PeakBytes:    s.PeakBytes,
+		MaxDepth:     s.MaxDepth,
+		Counters:     s.Counters,
+		Phases:       s.Phases,
+	})
+}

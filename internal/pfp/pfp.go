@@ -30,6 +30,7 @@ import (
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/encoding"
 	"cfpgrowth/internal/mine"
+	"cfpgrowth/internal/obs"
 )
 
 // Miner is the partitioned miner.
@@ -49,6 +50,10 @@ type Miner struct {
 	// private one is used otherwise so first-error propagation between
 	// workers never depends on the caller wiring one up.
 	Ctl *mine.Control
+	// Rec, when non-nil, records phase spans (the shard pass appears
+	// as "shard") and per-shard structure counters; shared by all
+	// workers.
+	Rec *obs.Recorder
 }
 
 // Name implements mine.Miner.
@@ -66,7 +71,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if err := ctl.Err(); err != nil {
 		return err
 	}
+	sp := m.Rec.Start(obs.PhasePass1)
 	counts, err := dataset.CountItems(src)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -108,37 +115,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 		}
 	}
 	var buf []uint32
-	err = src.Scan(func(tx []dataset.Item) error {
-		if err := ctl.Err(); err != nil {
-			return err
-		}
-		buf = rec.Encode(tx, buf[:0])
-		// Walk from the least frequent item; the first time a group is
-		// seen, it receives the prefix ending there.
-		seen := uint64(0) // bitset over groups (groups ≤ 64 fast path)
-		var seenMap map[int]bool
-		if groups > 64 {
-			seenMap = make(map[int]bool, 8)
-		}
-		for i := len(buf) - 1; i >= 0; i-- {
-			g := int(buf[i]) % groups
-			if seenMap != nil {
-				if seenMap[g] {
-					continue
-				}
-				seenMap[g] = true
-			} else {
-				if seen&(1<<g) != 0 {
-					continue
-				}
-				seen |= 1 << g
-			}
-			if err := shards[g].write(buf[:i+1]); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
+	sp = m.Rec.Start(obs.PhaseShard)
+	err = scanShards(src, rec, shards, groups, ctl, &buf)
+	sp.End()
 	if err != nil {
 		closeAll()
 		return err
@@ -159,9 +138,14 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 		itemName[i] = rec.Decode(uint32(i))
 		itemCount[i] = rec.Support(uint32(i))
 	}
+	// The caller's tracker needs a mutex under concurrent workers; the
+	// recorder's gauges are atomic and are teed in unsynchronized.
 	var track mine.MemTracker = mine.NullTracker{}
 	if m.Track != nil {
 		track = &mine.SyncTracker{Inner: m.Track}
+	}
+	if m.Rec != nil {
+		track = &mine.TeeTracker{A: track, B: m.Rec}
 	}
 	workers := m.Workers
 	if workers <= 0 {
@@ -182,6 +166,9 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 		jobs <- g
 	}
 	close(jobs)
+	// One mine span covers the whole worker pool, as in ParallelGrowth.
+	sp = m.Rec.Start(obs.PhaseMine)
+	defer sp.End()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -210,6 +197,7 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 func (m Miner) mineShard(path string, group, groups, numItems int, itemName []uint32, itemCount []uint64, minSup uint64, sink mine.Sink, track mine.MemTracker, a *arena.Arena, ctl *mine.Control) error {
 	a.Reset()
 	tree := core.NewTree(a, m.Config, itemName, itemCount)
+	tree.Observe(m.Rec)
 	if err := scanShard(path, func(tx []uint32) error {
 		if err := ctl.Err(); err != nil {
 			return err
@@ -221,6 +209,13 @@ func (m Miner) mineShard(path string, group, groups, numItems int, itemName []ui
 	}
 	if tree.NumNodes() == 0 {
 		return nil
+	}
+	if m.Rec != nil {
+		std, chains, embedded := tree.PhysNodes()
+		m.Rec.Add(obs.CtrStdNodes, int64(std))
+		m.Rec.Add(obs.CtrChainNodes, int64(chains))
+		m.Rec.Add(obs.CtrEmbeddedLeaves, int64(embedded))
+		m.Rec.Add(obs.CtrLogicalNodes, int64(tree.NumNodes()))
 	}
 	track.Alloc(tree.Extent())
 	arr, err := core.ConvertCtl(tree, ctl)
@@ -238,7 +233,45 @@ func (m Miner) mineShard(path string, group, groups, numItems int, itemName []ui
 			ranks = append(ranks, uint32(rk))
 		}
 	}
-	return core.MineArrayItems(arr, m.Config, minSup, sink, track, 0, ranks, ctl)
+	return core.MineArrayItems(arr, m.Config, minSup, sink, track, 0, ranks, ctl, m.Rec)
+}
+
+// scanShards runs the sharding pass: for each transaction and each
+// group, the longest prefix ending at one of the group's items is
+// written to that group's shard.
+func scanShards(src dataset.Source, rec *dataset.Recoder, shards []*shardWriter, groups int, ctl *mine.Control, bufp *[]uint32) error {
+	return src.Scan(func(tx []dataset.Item) error {
+		if err := ctl.Err(); err != nil {
+			return err
+		}
+		buf := rec.Encode(tx, (*bufp)[:0])
+		*bufp = buf
+		// Walk from the least frequent item; the first time a group is
+		// seen, it receives the prefix ending there.
+		seen := uint64(0) // bitset over groups (groups ≤ 64 fast path)
+		var seenMap map[int]bool
+		if groups > 64 {
+			seenMap = make(map[int]bool, 8)
+		}
+		for i := len(buf) - 1; i >= 0; i-- {
+			g := int(buf[i]) % groups
+			if seenMap != nil {
+				if seenMap[g] {
+					continue
+				}
+				seenMap[g] = true
+			} else {
+				if seen&(1<<g) != 0 {
+					continue
+				}
+				seen |= 1 << g
+			}
+			if err := shards[g].write(buf[:i+1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // shardWriter spills rank-space transactions: per transaction a varint
