@@ -2,36 +2,53 @@
 // multichecker over the analyzers in internal/analysis/... that guard
 // the byte-level invariants of the CFP-tree/CFP-array layouts
 // (ptr40safe, varintbounds), the no-emission-after-stop concurrency
-// invariant (sinkguard), and sentinel-error hygiene (errsentinel).
+// invariant (sinkguard), span hygiene (obsguard), sentinel-error
+// hygiene (errsentinel), atomic-field discipline (atomicfield),
+// lock-order discipline (lockorder), and hot-path allocation
+// discipline (allochot).
 //
 // Usage:
 //
-//	go run ./cmd/cfplint [-tests] [-list] [packages...]
+//	go run ./cmd/cfplint [-tests] [-list] [-json file] [packages...]
 //
 // With no arguments it checks ./... . Findings print as
-// file:line:col: message [analyzer]; the exit status is 1 when any
-// finding survives. Individual sites are suppressed with an audited
-// directive on the flagged line or the line above:
+// file:line:col: message [analyzer]; -json additionally writes them as
+// a JSON array to the given file (the CI artifact). The exit status is
+// 1 when any finding survives, 2 when loading fails or the patterns
+// match no packages — an empty match is a misconfiguration, not a
+// clean run. Individual sites are suppressed with an audited directive
+// on the flagged line or the line above:
 //
 //	//cfplint:ignore <analyzer> <reason>
 //
 // Each analyzer runs over a scope matching its invariant: sinkguard
 // only applies to the mining packages (internal/core, internal/pfp,
 // internal/fptree, internal/algo/...), obsguard to the packages
-// instrumented with obs spans (internal/core, internal/pfp,
-// internal/fptree, internal/experiments, cmd/...), ptr40safe
-// everywhere except internal/encoding (which owns the raw layout),
-// errsentinel and varintbounds module-wide.
+// instrumented with obs spans, lockorder to the synchronized layers
+// (internal/obs, internal/core — mine.SyncSink deliberately holds its
+// mutex across Inner.Emit and is out of scope), ptr40safe everywhere
+// except internal/encoding (which owns the raw layout), the rest
+// module-wide.
+//
+// Packages are analyzed in dependency order sharing one fact store, so
+// facts exported while analyzing a dependency (say, a stop-check
+// helper in internal/fptree) are visible when its importers are
+// analyzed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/allochot"
+	"cfpgrowth/internal/analysis/atomicfield"
 	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/lockorder"
 	"cfpgrowth/internal/analysis/obsguard"
 	"cfpgrowth/internal/analysis/ptr40safe"
 	"cfpgrowth/internal/analysis/sinkguard"
@@ -75,21 +92,48 @@ var suite = []scoped{
 		"cfpgrowth/internal/experiments",
 		"cfpgrowth/cmd",
 	)},
+	{lockorder.Analyzer, anyPrefix(
+		"cfpgrowth/internal/obs",
+		"cfpgrowth/internal/core",
+	)},
 	{errsentinel.Analyzer, everywhere},
 	{varintbounds.Analyzer, everywhere},
+	{atomicfield.Analyzer, everywhere},
+	{allochot.Analyzer, everywhere},
+}
+
+// jsonFinding is the -json serialization of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
-	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body; it returns the process exit code:
+// 0 clean, 1 findings, 2 usage/load errors (including patterns that
+// match no packages).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cfplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.String("json", "", "also write findings as a JSON array to this `file`")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, s := range suite {
-			fmt.Printf("%s\n%s\n\n", s.analyzer.Name, s.analyzer.Doc)
+			fmt.Fprintf(stdout, "%s\n%s\n\n", s.analyzer.Name, s.analyzer.Doc)
 		}
-		return
+		return 0
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -97,13 +141,20 @@ func main() {
 	loader := &analysis.Loader{Tests: *tests}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "cfplint: patterns %v matched no packages\n", patterns)
+		return 2
 	}
 
-	wd, _ := os.Getwd()
-	failed := false
-	for _, pkg := range pkgs {
+	// One fact store for the whole run, fed in dependency order, so an
+	// analyzer looking at a package sees the facts of everything that
+	// package imports.
+	var all []analysis.Finding
+	store := analysis.NewFactStore()
+	for _, pkg := range topoOrder(pkgs) {
 		var active []*analysis.Analyzer
 		for _, s := range suite {
 			if s.applies(pkg.ImportPath) {
@@ -113,23 +164,79 @@ func main() {
 		if len(active) == 0 {
 			continue
 		}
-		findings, err := analysis.Run(pkg, active)
+		findings, err := analysis.RunWithFacts(pkg, active, store)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		for _, f := range findings {
-			failed = true
-			pos := f.Pos
-			if wd != "" {
-				if rel, ok := strings.CutPrefix(pos.Filename, wd+string(os.PathSeparator)); ok {
-					pos.Filename = rel
-				}
+		all = append(all, findings...)
+	}
+
+	wd, _ := os.Getwd()
+	var jfs []jsonFinding
+	for _, f := range all {
+		pos := f.Pos
+		if wd != "" {
+			if rel, ok := strings.CutPrefix(pos.Filename, wd+string(os.PathSeparator)); ok {
+				pos.Filename = rel
 			}
-			fmt.Printf("%v: %s [%s]\n", pos, f.Message, f.Analyzer)
+		}
+		fmt.Fprintf(stdout, "%v: %s [%s]\n", pos, f.Message, f.Analyzer)
+		jfs = append(jfs, jsonFinding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	if *jsonOut != "" {
+		if jfs == nil {
+			jfs = []jsonFinding{} // an empty run serializes as [], not null
+		}
+		data, err := json.MarshalIndent(jfs, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	}
-	if failed {
-		os.Exit(1)
+	if len(all) > 0 {
+		return 1
 	}
+	return 0
+}
+
+// topoOrder sorts pkgs so that every package follows the packages it
+// imports (restricted to the loaded set), preserving `go list` order
+// among independents. Cross-package facts only flow forward, so
+// producers must be analyzed first.
+func topoOrder(pkgs []*analysis.Package) []*analysis.Package {
+	byPath := make(map[string]*analysis.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var out []*analysis.Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *analysis.Package)
+	visit = func(p *analysis.Package) {
+		if state[p.ImportPath] != 0 {
+			return // visiting (go compiler rejects import cycles) or done
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byPath[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }

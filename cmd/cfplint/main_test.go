@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPackagesMatched is the regression test for the silent-success
+// bug: patterns that expand to zero analyzable packages must exit 2,
+// not pretend the tree is clean.
+func TestNoPackagesMatched(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// emptypkg has only _test.go files; without -tests there is
+	// nothing to analyze.
+	code := run([]string{"./testdata/emptypkg"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "matched no packages") {
+		t.Errorf("stderr = %q, want a matched-no-packages message", stderr.String())
+	}
+}
+
+// TestBadPattern: an unresolvable pattern is a load failure, exit 2.
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./no/such/dir"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() == 0 {
+		t.Error("expected a load error on stderr")
+	}
+}
+
+// TestList prints every analyzer and exits 0.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{
+		"ptr40safe", "sinkguard", "obsguard", "lockorder",
+		"errsentinel", "varintbounds", "atomicfield", "allochot",
+	} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}
+
+// TestFindingsAndJSON analyzes the deliberately-flagged testdata
+// package: exit 1, a human-readable line on stdout, and a parseable
+// -json artifact.
+func TestFindingsAndJSON(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "findings.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", artifact, "./testdata/flagged"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[errsentinel]") {
+		t.Errorf("stdout = %q, want an errsentinel finding", stdout.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jfs []jsonFinding
+	if err := json.Unmarshal(data, &jfs); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, data)
+	}
+	if len(jfs) == 0 {
+		t.Fatal("artifact is empty, want the errsentinel finding")
+	}
+	f := jfs[0]
+	if f.Analyzer != "errsentinel" || f.Line == 0 || !strings.Contains(f.Message, "errors.Is") {
+		t.Errorf("unexpected finding in artifact: %+v", f)
+	}
+}
+
+// TestCleanJSONIsEmptyArray: a clean run with -json writes [] so
+// downstream consumers can always parse the artifact.
+func TestCleanJSONIsEmptyArray(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "findings.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", artifact, "../../internal/encoding"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Errorf("artifact = %q, want []", got)
+	}
+}

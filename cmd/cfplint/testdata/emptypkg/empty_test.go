@@ -1,0 +1,4 @@
+// Package emptypkg has no non-test files: `go list` matches it, but
+// cfplint (without -tests) finds nothing to analyze — the situation
+// the no-packages-matched exit guards.
+package emptypkg

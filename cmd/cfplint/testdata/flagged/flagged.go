@@ -1,0 +1,13 @@
+// Package flagged carries one deliberate errsentinel violation so the
+// driver tests can observe a finding, the exit status, and the -json
+// artifact. It lives under testdata, which `go list ./...` skips, so
+// the real lint run never sees it.
+package flagged
+
+import "cfpgrowth/internal/mine"
+
+// Classify compares a sentinel with ==, the exact mistake errsentinel
+// exists to catch.
+func Classify(err error) bool {
+	return err == mine.ErrCanceled
+}

@@ -1,0 +1,11 @@
+package allochot
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+)
+
+func TestFixture(t *testing.T) {
+	analysis.RunFixture(t, Analyzer, "testdata")
+}

@@ -1,0 +1,193 @@
+// Fixture for the allochot analyzer: allocation patterns inside and
+// outside functions marked //cfplint:hot.
+package fixture
+
+import "fmt"
+
+// record mimics an emission callback taking a concrete payload.
+func record(v int) { _ = v }
+
+// logAny mimics a logging shim with an interface parameter.
+func logAny(v any) { _ = v }
+
+// logVariadic mimics fmt-style variadic interface parameters.
+func logVariadic(vs ...any) { _ = vs }
+
+// formatsInHot builds a label per element.
+//
+//cfplint:hot
+func formatsInHot(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("item-%d", x)) // want `fmt.Sprintf call in hot function formatsInHot`
+	}
+	return out
+}
+
+// coldMayFormat is identical but unmarked: not checked.
+func coldMayFormat(xs []int) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("item-%d", x))
+	}
+	return out
+}
+
+// boxesAtCall passes a concrete int where an interface is expected.
+//
+//cfplint:hot
+func boxesAtCall(xs []int) {
+	for _, x := range xs {
+		logAny(x) // want `int is boxed into any in hot function boxesAtCall`
+		record(x)
+	}
+}
+
+// boxesVariadic boxes each variadic argument.
+//
+//cfplint:hot
+func boxesVariadic(a int, b string) {
+	logVariadic(a, b) // want `int is boxed into any in hot function boxesVariadic` `string is boxed into any in hot function boxesVariadic`
+}
+
+// boxesAtAssign stores a concrete value into an interface variable.
+//
+//cfplint:hot
+func boxesAtAssign(x int) {
+	var v any
+	v = x // want `int is boxed into any in hot function boxesAtAssign`
+	_ = v
+}
+
+// boxesAtDecl boxes in the declaration itself.
+//
+//cfplint:hot
+func boxesAtDecl(x int) {
+	var v any = x // want `int is boxed into any in hot function boxesAtDecl`
+	_ = v
+}
+
+// boxesAtConversion converts explicitly.
+//
+//cfplint:hot
+func boxesAtConversion(x int) any {
+	return any(x) // want `int is boxed into any in hot function boxesAtConversion`
+}
+
+// sentinel is a concrete error implementation.
+type sentinel struct{}
+
+func (sentinel) Error() string { return "sentinel" }
+
+// boxesAtReturn converts a concrete error implementation to the error
+// interface on every call.
+//
+//cfplint:hot
+func boxesAtReturn(fail bool) error {
+	if fail {
+		return sentinel{} // want `sentinel is boxed into error in hot function boxesAtReturn`
+	}
+	return nil // predeclared nil: no box
+}
+
+// errPassthrough returns an already-interface-typed error: no box.
+//
+//cfplint:hot
+func errPassthrough(err error) error {
+	return err
+}
+
+// growsUnpresized appends to a slice declared without capacity.
+//
+//cfplint:hot
+func growsUnpresized(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // want `append grows out inside this loop in hot function growsUnpresized`
+		}
+	}
+	return out
+}
+
+// growsEmptyLiteral is the same hole spelled with a literal.
+//
+//cfplint:hot
+func growsEmptyLiteral(xs []int) []int {
+	out := []int{}
+	for _, x := range xs {
+		out = append(out, x) // want `append grows out inside this loop in hot function growsEmptyLiteral`
+	}
+	return out
+}
+
+// growsPresized pre-sizes with make: accepted.
+//
+//cfplint:hot
+func growsPresized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// appendsToParam grows a caller-owned slice: the caller chose the
+// capacity, so it is not this function's business.
+//
+//cfplint:hot
+func appendsToParam(out []int, xs []int) []int {
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// appendOutsideLoop is a single append, not a growth loop.
+//
+//cfplint:hot
+func appendOutsideLoop(x int) []int {
+	var out []int
+	out = append(out, x)
+	return out
+}
+
+// assertf mirrors the debugchecks assertion layer.
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(format)
+	}
+}
+
+const debugChecks = false
+
+// assertsAreExempt: assert* calls are compiled out behind the
+// constant-false debug gate, so their variadic boxing never runs.
+//
+//cfplint:hot
+func assertsAreExempt(xs []int) int {
+	total := 0
+	for i, x := range xs {
+		if debugChecks {
+			assertf(x >= 0, "negative element %d at %d", x, i)
+		}
+		total += x
+	}
+	return total
+}
+
+// hotLiteralBody: function literals inside a hot function are hot too,
+// and returns inside them resolve against the literal's signature.
+//
+//cfplint:hot
+func hotLiteralBody(xs []int) {
+	each(xs, func(x int) any {
+		return x // want `int is boxed into any in hot function hotLiteralBody`
+	})
+}
+
+func each(xs []int, fn func(int) any) {
+	for _, x := range xs {
+		_ = fn(x)
+	}
+}

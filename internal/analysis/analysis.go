@@ -7,9 +7,13 @@
 // analyzers under internal/analysis/... could be ported to the real
 // framework by changing imports only.
 //
-// Differences from x/tools: no Facts, no Requires graph, no
-// SuggestedFixes, and Run returns only an error. Suppression is
-// supported through line directives:
+// Differences from x/tools: no SuggestedFixes, Run returns only an
+// error, and facts live in one in-memory FactStore per run (the
+// single-Loader driver shares types.Object identities across packages,
+// so no fact serialization is needed — see facts.go). Analyzers form a
+// Requires DAG; the runner topologically sorts it so fact producers
+// run before their consumers. Suppression is supported through line
+// directives:
 //
 //	//cfplint:ignore <analyzer>[,<analyzer>...] <reason>
 //
@@ -32,6 +36,14 @@ type Analyzer struct {
 	// Doc is the one-paragraph description shown by cfplint -help: the
 	// invariant the analyzer guards and why it matters.
 	Doc string
+	// Requires lists analyzers that must run first on each package
+	// (typically fact producers). The runner expands and topologically
+	// sorts the closure; cycles are an error.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer exports or
+	// imports, as pointers to zero values (e.g. new(FooFact)).
+	// Undeclared fact use is a programming error and panics.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -46,6 +58,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // A Diagnostic is one finding.

@@ -13,20 +13,26 @@ import (
 
 // toy flags every integer literal 42 — enough surface to exercise
 // suppression, missing-reason, and staleness handling end to end.
-var toy = &Analyzer{
-	Name: "toy",
-	Doc:  "flags the literal 42",
-	Run: func(pass *Pass) error {
-		for _, f := range pass.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "42" {
-					pass.Reportf(lit.Pos(), "literal 42")
-				}
-				return true
-			})
-		}
-		return nil
-	},
+// toy43 is its sibling for the comma-separated directive form.
+var toy = literalAnalyzer("toy", "42")
+var toy43 = literalAnalyzer("toy43", "43")
+
+func literalAnalyzer(name, value string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "flags the literal " + value,
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == value {
+						pass.Reportf(lit.Pos(), "literal "+value)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
 }
 
 func TestDirectives(t *testing.T) {
@@ -34,7 +40,7 @@ func TestDirectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := Run(pkg, []*Analyzer{toy})
+	findings, err := Run(pkg, []*Analyzer{toy, toy43})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,12 +52,17 @@ func TestDirectives(t *testing.T) {
 	var want []string
 	for i, line := range strings.Split(string(src), "\n") {
 		n := i + 1
-		switch {
-		case strings.Contains(line, "MARK:flagged"):
+		if strings.Contains(line, "MARK:flagged") {
 			want = append(want, fmt.Sprintf("toy:%d:literal 42", n))
-		case strings.TrimSpace(line) == "//cfplint:ignore toy":
+		}
+		if strings.Contains(line, "MARK:also43") {
+			want = append(want, fmt.Sprintf("toy43:%d:literal 43", n))
+		}
+		switch strings.TrimSpace(line) {
+		case "//cfplint:ignore toy", "//cfplint:ignore toy,toy43":
 			want = append(want, fmt.Sprintf("cfplint:%d://cfplint:ignore directive without a reason", n))
-		case strings.Contains(line, "MARK:stale"):
+		}
+		if strings.Contains(line, "MARK:stale") {
 			want = append(want, fmt.Sprintf("cfplint:%d://cfplint:ignore directive suppresses nothing (stale?)", n))
 		}
 	}

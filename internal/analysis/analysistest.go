@@ -73,14 +73,19 @@ func LoadFixture(dir string) (*Package, error) {
 }
 
 // wantRe extracts the quoted regexps of a want comment. Both `...`
-// and "..." quoting are accepted.
-var wantRe = regexp.MustCompile("// *want *((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\") *)+)")
+// and "..." quoting are accepted; several quoted regexps on one want
+// line expect several diagnostics on that line; an optional column
+// prefix pins the diagnostic's column:
+//
+//	b[0] = 0xFF // want `magic 0xFF` 9:`second diagnostic at col 9`
+var wantRe = regexp.MustCompile("// *want *((?:(?:[0-9]+:)?(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\") *)+)")
 
-var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+var wantArgRe = regexp.MustCompile("([0-9]+:)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 type want struct {
 	file string
 	line int
+	col  int // 0 = any column
 	re   *regexp.Regexp
 	hit  bool
 }
@@ -97,7 +102,12 @@ func checkWants(t *testing.T, pkg *Package, findings []Finding) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Slash)
-				for _, q := range wantArgRe.FindAllString(m[1], -1) {
+				for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					col := 0
+					if arg[1] != "" {
+						col, _ = strconv.Atoi(strings.TrimSuffix(arg[1], ":"))
+					}
+					q := arg[2]
 					var pat string
 					if q[0] == '`' {
 						pat = q[1 : len(q)-1]
@@ -112,7 +122,7 @@ func checkWants(t *testing.T, pkg *Package, findings []Finding) {
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, col: col, re: re})
 				}
 			}
 		}
@@ -126,7 +136,8 @@ func checkWants(t *testing.T, pkg *Package, findings []Finding) {
 	for _, f := range findings {
 		matched := false
 		for _, w := range wants {
-			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line &&
+				(w.col == 0 || w.col == f.Pos.Column) && w.re.MatchString(f.Message) {
 				w.hit = true
 				matched = true
 				break
@@ -138,6 +149,10 @@ func checkWants(t *testing.T, pkg *Package, findings []Finding) {
 	}
 	for _, w := range wants {
 		if !w.hit {
+			if w.col != 0 {
+				t.Errorf("%s:%d: no diagnostic at column %d matching %q", w.file, w.line, w.col, w.re)
+				continue
+			}
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
 		}
 	}

@@ -1,0 +1,185 @@
+// Package atomicfield guards the atomicity discipline of counter
+// fields like the ones in obs.Recorder. A field whose address is ever
+// passed to a sync/atomic function is an atomic field: every other
+// access must go through sync/atomic too, because one plain load or
+// store next to atomic updates is a data race the race detector only
+// catches when the schedule cooperates. The analyzer also checks the
+// 64-bit alignment rule: sync/atomic's 64-bit operations require
+// 8-byte alignment, which 32-bit targets only guarantee for the first
+// word of an allocation, so a plain int64/uint64 atomic field must sit
+// at an 8-byte offset in its struct (typed atomic.Int64/Uint64 embed
+// an alignment marker and are exempt — and are the preferred fix).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// Analyzer is the atomicfield rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: `requires struct fields used with sync/atomic to be accessed
+atomically everywhere, and 64-bit plain atomic fields to be 8-byte
+aligned for 32-bit targets (prefer the typed atomic.Int64/Uint64)`,
+	Run: run,
+}
+
+// atomicUse records how a field is used atomically.
+type atomicUse struct {
+	pos    token.Pos // one representative sync/atomic call site
+	is64   bool      // used with a 64-bit operation
+	opName string    // e.g. "atomic.AddInt64"
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect fields whose address flows into a sync/atomic
+	// function, remembering the selector nodes already blessed as
+	// atomic so pass 2 can skip them.
+	fields := map[*types.Var]*atomicUse{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on typed atomics are safe by construction
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			sel, obj := addressedField(pass.TypesInfo, call.Args[0])
+			if obj == nil {
+				return true
+			}
+			blessed[sel] = true
+			u := fields[obj]
+			if u == nil {
+				u = &atomicUse{pos: call.Pos(), opName: "atomic." + fn.Name()}
+				fields[obj] = u
+			}
+			u.is64 = u.is64 || strings.Contains(fn.Name(), "64")
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to an atomic field is a race. Taking
+	// the address without calling sync/atomic is reported too: the
+	// pointer's eventual dereference is invisible to this analyzer, so
+	// the only checkable discipline is "addresses go straight into
+	// sync/atomic calls".
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				return true
+			}
+			u, ok := fields[obj]
+			if !ok {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is accessed with %s elsewhere; this plain access races with it (use sync/atomic for every access, or a typed atomic.Int64)",
+				obj.Name(), u.opName)
+			return true
+		})
+	}
+
+	// Alignment: plain 64-bit atomic fields in package-local structs
+	// must land on an 8-byte offset under 32-bit layout.
+	checkAlignment(pass, fields)
+	return nil
+}
+
+// addressedField unwraps &x.f (possibly parenthesized) to the selector
+// node and the field object it names.
+func addressedField(info *types.Info, e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil, nil
+	}
+	return sel, obj
+}
+
+// checkAlignment walks the named struct types of the current package
+// and reports 64-bit atomic fields whose offset under 32-bit ("386")
+// layout is not a multiple of 8.
+func checkAlignment(pass *analysis.Pass, fields map[*types.Var]*atomicUse) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	names := scope.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var vars []*types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			vars = append(vars, st.Field(i))
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		offsets := sizes.Offsetsof(vars)
+		for i, v := range vars {
+			u, ok := fields[v]
+			if !ok || !u.is64 || !is64BitBasic(v.Type()) {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				pass.Reportf(v.Pos(),
+					"64-bit atomic field %s is at offset %d of %s, not 8-byte aligned on 32-bit targets (%s would fault); move it to the front of the struct or use atomic.%s",
+					v.Name(), offsets[i], tn.Name(), u.opName, typedAtomicName(v.Type()))
+			}
+		}
+	}
+}
+
+// is64BitBasic reports whether t is a plain int64/uint64 (typed
+// atomic.Int64 etc. carry their own alignment and never get here
+// because their address is not the direct sync/atomic argument).
+func is64BitBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int64 || b.Kind() == types.Uint64)
+}
+
+func typedAtomicName(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

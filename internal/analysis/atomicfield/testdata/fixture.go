@@ -1,0 +1,83 @@
+// Fixture for the atomicfield analyzer: struct counters updated with
+// sync/atomic, with and without stray plain accesses, and the 64-bit
+// alignment rule for 32-bit targets.
+package fixture
+
+import "sync/atomic"
+
+// stats mixes atomic and plain access to the same field.
+type stats struct {
+	hits int64
+	name string
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `field hits is accessed with atomic.AddInt64 elsewhere; this plain access races`
+}
+
+func (s *stats) read() int64 {
+	return s.hits // want `field hits is accessed with atomic.AddInt64 elsewhere; this plain access races`
+}
+
+// clean accesses its counter atomically everywhere.
+type clean struct {
+	hits int64
+}
+
+func (c *clean) bump()       { atomic.AddInt64(&c.hits, 1) }
+func (c *clean) read() int64 { return atomic.LoadInt64(&c.hits) }
+func (c *clean) reset()      { atomic.StoreInt64(&c.hits, 0) }
+
+// typed uses the typed atomics, which are safe by construction: every
+// access goes through a method, so no plain access can exist.
+type typed struct {
+	hits atomic.Int64
+	peak atomic.Int64
+}
+
+func (t *typed) bump() {
+	t.hits.Add(1)
+	for {
+		cur := t.hits.Load()
+		if cur <= t.peak.Load() || t.peak.CompareAndSwap(t.peak.Load(), cur) {
+			return
+		}
+	}
+}
+
+// misaligned puts a 64-bit atomic counter after a bool: on 386/arm the
+// field lands at offset 4 and atomic.AddUint64 faults.
+type misaligned struct {
+	closed bool
+	n      uint64 // want `64-bit atomic field n is at offset 4 of misaligned, not 8-byte aligned on 32-bit targets`
+}
+
+func (m *misaligned) bump() { atomic.AddUint64(&m.n, 1) }
+
+// aligned leads with the 64-bit field, the documented fix.
+type aligned struct {
+	n      uint64
+	closed bool
+}
+
+func (a *aligned) bump() { atomic.AddUint64(&a.n, 1) }
+
+// narrow32 shows that 32-bit atomics have no alignment requirement
+// beyond their natural one, even after a bool.
+type narrow32 struct {
+	closed bool
+	n      uint32
+}
+
+func (w *narrow32) bump() { atomic.AddUint32(&w.n, 1) }
+
+// untrackedField is never used atomically, so plain access is fine.
+type untrackedField struct {
+	hits int64
+}
+
+func (u *untrackedField) bump() { u.hits++ }

@@ -1,0 +1,360 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file and builds the graph of the named
+// function.
+func buildFunc(t *testing.T, src, name string) (*token.FileSet, *Graph) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, New(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// reachable returns the set of blocks reachable from entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// nodeText renders a node's source-ish identity for assertions: for
+// idents and calls the leading identifier, otherwise the node type.
+func hasCallTo(g *Graph, reach map[*Block]bool, name string) bool {
+	found := false
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			ast.Inspect(nodeOrStmt(n), func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return true
+			})
+		}
+	}
+	return found
+}
+
+func nodeOrStmt(n ast.Node) ast.Node {
+	if rh, ok := n.(RangeHead); ok {
+		return rh.Range.X
+	}
+	return n
+}
+
+func TestDeadCodeAfterReturnUnreachable(t *testing.T) {
+	src := `package p
+func f() int {
+	return live()
+	dead()
+	return 0
+}
+func live() int { return 1 }
+func dead()     {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	if !hasCallTo(g, reach, "live") {
+		t.Error("live() should be reachable")
+	}
+	if hasCallTo(g, reach, "dead") {
+		t.Error("dead() after return should be unreachable")
+	}
+	if !reach[g.Exit] {
+		t.Error("exit should be reachable")
+	}
+}
+
+func TestShortCircuitDecomposition(t *testing.T) {
+	src := `package p
+func f(a, b bool) {
+	if a && !b {
+		x()
+	} else {
+		y()
+	}
+}
+func x() {}
+func y() {}`
+	_, g := buildFunc(t, src, "f")
+	// Both atomic conditions must appear as edge conditions, each with
+	// a true and a false edge; the negation is folded into edge
+	// polarity (the cond expr is `b`, not `!b`).
+	conds := map[string][]bool{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond == nil {
+				continue
+			}
+			id, ok := e.Cond.(*ast.Ident)
+			if !ok {
+				t.Fatalf("edge condition is %T, want atomic *ast.Ident", e.Cond)
+			}
+			conds[id.Name] = append(conds[id.Name], e.Taken)
+		}
+	}
+	for _, name := range []string{"a", "b"} {
+		if len(conds[name]) != 2 {
+			t.Fatalf("condition %q: got %d conditional edges, want 2", name, len(conds[name]))
+		}
+		if conds[name][0] == conds[name][1] {
+			t.Errorf("condition %q: both edges have Taken=%v", name, conds[name][0])
+		}
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	src := `package p
+func f(ok bool) {
+	if !ok {
+		panic("bad")
+	}
+	after()
+}
+func after() {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	if !hasCallTo(g, reach, "after") {
+		t.Error("after() should be reachable via the ok branch")
+	}
+	// The block containing panic must have no successors.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 0 {
+						t.Errorf("panic block has %d successors, want 0", len(b.Succs))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	src := `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if stop(i) {
+			break
+		}
+		body(i)
+	}
+	done()
+}
+func stop(int) bool { return false }
+func body(int)      {}
+func done()         {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	for _, name := range []string{"stop", "body", "done"} {
+		if !hasCallTo(g, reach, name) {
+			t.Errorf("%s() should be reachable", name)
+		}
+	}
+	// The loop must contain a cycle: some reachable block's edge goes
+	// to a block with a smaller index (the back edge to the head).
+	back := false
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To.Index < b.Index && e.To != g.Exit {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("no back edge found for the for loop")
+	}
+}
+
+func TestRangeSwitchSelectDeferGoto(t *testing.T) {
+	// Smoke test: exotic control flow builds a well-formed graph where
+	// every construct's body is reachable and exit is reached.
+	src := `package p
+func f(xs []int, ch chan int, mode int) {
+	defer cleanup()
+	for _, x := range xs {
+		touch(x)
+	}
+	switch mode {
+	case 0:
+		zero()
+		fallthrough
+	case 1:
+		one()
+	default:
+		other()
+	}
+	switch {
+	case mode > 10:
+		big()
+	}
+	select {
+	case v := <-ch:
+		recv(v)
+	default:
+		idle()
+	}
+	goto end
+end:
+	done()
+}
+func cleanup()  {}
+func touch(int) {}
+func zero()     {}
+func one()      {}
+func other()    {}
+func big()      {}
+func recv(int)  {}
+func idle()     {}
+func done()     {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	for _, name := range []string{"cleanup", "touch", "zero", "one", "other", "big", "recv", "idle", "done"} {
+		if !hasCallTo(g, reach, name) {
+			t.Errorf("%s() should be reachable", name)
+		}
+	}
+	if !reach[g.Exit] {
+		t.Error("exit should be reachable")
+	}
+}
+
+func TestLabeledContinueTargetsOuterLoop(t *testing.T) {
+	src := `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+			use(v)
+		}
+	}
+	done()
+}
+func use(int) {}
+func done()   {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	for _, name := range []string{"use", "done"} {
+		if !hasCallTo(g, reach, name) {
+			t.Errorf("%s() should be reachable", name)
+		}
+	}
+}
+
+func TestFuncLitBodyIsOpaque(t *testing.T) {
+	src := `package p
+func f() {
+	g := func() {
+		inner()
+	}
+	g()
+}
+func inner() {}`
+	_, g := buildFunc(t, src, "f")
+	// The literal's body must not contribute CFG nodes: inner() lives
+	// only inside the FuncLit expression of the assignment node.
+	var litBlocks int
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "inner" {
+						litBlocks++
+					}
+				}
+			}
+		}
+	}
+	if litBlocks != 0 {
+		t.Errorf("inner() call appears as %d top-level CFG nodes, want 0 (literal bodies are opaque)", litBlocks)
+	}
+}
+
+func TestConditionSwitchIsBranchAware(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n == 0:
+		return 0
+	}
+	return 1
+}`
+	_, g := buildFunc(t, src, "f")
+	var condEdges int
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				condEdges++
+				if _, ok := e.Cond.(*ast.BinaryExpr); !ok {
+					t.Errorf("tagless switch edge cond is %T, want *ast.BinaryExpr", e.Cond)
+				}
+			}
+		}
+	}
+	if condEdges != 4 {
+		t.Errorf("got %d conditional edges, want 4 (two tests x two polarities)", condEdges)
+	}
+}
+
+func TestEveryEdgeTargetsListedBlock(t *testing.T) {
+	src := `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		switch {
+		case i%2 == 0:
+			continue
+		}
+	}
+}`
+	_, g := buildFunc(t, src, "f")
+	idx := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		idx[b] = true
+	}
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if !idx[e.To] {
+				t.Fatalf("edge from block %d targets unlisted block", b.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package dataflow is a generic forward worklist solver over the
+// control-flow graphs of internal/analysis/cfg.
+//
+// An analyzer describes its problem as a lattice of states S plus a
+// transfer function (the effect of one CFG node) and an optional edge
+// refinement (the effect of knowing a branch condition's value). The
+// solver iterates to a fixpoint: it seeds the entry block with
+// Problem.Entry, folds Transfer over each block's nodes, pushes the
+// result across every outgoing edge through Refine, and Joins it into
+// the successor's in-state, re-queueing blocks whose state grew.
+// Unreachable blocks are never visited and stay absent from Result.In
+// — analyzers therefore never report on dead code.
+//
+// Join chooses the analysis polarity: a union-style join yields a
+// may-analysis ("a span may be open here"), an intersection-style join
+// a must-analysis ("a stop-check happened on every path here").
+package dataflow
+
+import (
+	"go/ast"
+
+	"cfpgrowth/internal/analysis/cfg"
+)
+
+// A Problem defines one forward dataflow analysis.
+type Problem[S any] interface {
+	// Entry is the state on entry to the function.
+	Entry() S
+	// Transfer returns the state after executing node n in state s. It
+	// must not mutate s (use Clone first if updating in place).
+	Transfer(s S, n ast.Node) S
+	// Refine returns the state after following an edge that knows cond
+	// evaluated to taken. Return s unchanged when the condition is
+	// irrelevant.
+	Refine(s S, cond ast.Expr, taken bool) S
+	// Join is the least upper bound of two states reaching one block.
+	Join(a, b S) S
+	// Equal reports whether two states are indistinguishable; the
+	// solver stops re-queueing when joins stop changing states.
+	Equal(a, b S) bool
+	// Clone returns an independent copy of s.
+	Clone(s S) S
+}
+
+// Result holds the solved fixpoint.
+type Result[S any] struct {
+	// In maps each reachable block to the joined state at its entry.
+	In map[*cfg.Block]S
+	// Exit is the state at the synthetic exit block's entry; only
+	// meaningful when ExitReached.
+	Exit S
+	// ExitReached reports whether any path reaches the exit block
+	// (false for functions that loop forever or always panic).
+	ExitReached bool
+}
+
+// maxVisits bounds total block visits as a safety net against a
+// non-converging lattice; real analyses over finite lattices converge
+// in a handful of passes. When the bound trips, the partial fixpoint
+// is returned (analyzers then under-report rather than hang).
+const maxVisits = 50000
+
+// Forward solves the problem over g.
+func Forward[S any](g *cfg.Graph, p Problem[S]) *Result[S] {
+	res := &Result[S]{In: make(map[*cfg.Block]S)}
+	res.In[g.Entry] = p.Entry()
+
+	queue := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	visits := 0
+	for len(queue) > 0 && visits < maxVisits {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		visits++
+
+		s := p.Clone(res.In[b])
+		for _, n := range b.Nodes {
+			s = p.Transfer(s, n)
+		}
+		for _, e := range b.Succs {
+			out := s
+			if e.Cond != nil {
+				out = p.Refine(p.Clone(s), e.Cond, e.Taken)
+			}
+			old, seen := res.In[e.To]
+			var next S
+			if seen {
+				next = p.Join(p.Clone(old), out)
+				if p.Equal(old, next) {
+					continue
+				}
+			} else {
+				next = p.Clone(out)
+			}
+			res.In[e.To] = next
+			if !queued[e.To] {
+				queued[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if s, ok := res.In[g.Exit]; ok {
+		res.Exit = s
+		res.ExitReached = true
+	}
+	return res
+}
+
+// Iterate replays the solved fixpoint in source order, calling fn with
+// the state immediately before each node of each reachable block. This
+// is the reporting hook: solve silently with Forward, then sweep once
+// with Iterate to emit diagnostics against stable states.
+func (r *Result[S]) Iterate(g *cfg.Graph, p Problem[S], fn func(n ast.Node, before S)) {
+	for _, b := range g.Blocks {
+		in, ok := r.In[b]
+		if !ok {
+			continue
+		}
+		s := p.Clone(in)
+		for _, n := range b.Nodes {
+			fn(n, s)
+			s = p.Transfer(s, n)
+		}
+	}
+}
+
+// Inspect walks n like ast.Inspect but does not descend into function
+// literal bodies: a *ast.FuncLit is visited itself (so analyzers can
+// note its existence and analyze its body separately with its own
+// graph) but its Body subtree is skipped. CFG nodes are leaf
+// statements, so this never re-visits a nested block's statements.
+// The synthetic cfg.RangeHead node (which ast.Inspect would reject) is
+// unwrapped to its iteration variables.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	if rh, ok := n.(cfg.RangeHead); ok {
+		if !fn(rh) {
+			return
+		}
+		if rh.Range.Key != nil {
+			Inspect(rh.Range.Key, fn)
+		}
+		if rh.Range.Value != nil {
+			Inspect(rh.Range.Value, fn)
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !fn(m) {
+			return false
+		}
+		if lit, ok := m.(*ast.FuncLit); ok {
+			// Visit the type (captures no control flow) but not Body.
+			ast.Inspect(lit.Type, func(t ast.Node) bool {
+				return t == nil || fn(t)
+			})
+			return false
+		}
+		return true
+	})
+}

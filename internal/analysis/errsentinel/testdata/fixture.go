@@ -13,12 +13,12 @@ import (
 // compareEq classifies with ==, which breaks as soon as the sentinel
 // is wrapped.
 func compareEq(err error) bool {
-	return err == mine.ErrCanceled // want `sentinel compared with ==: use errors.Is`
+	return err == mine.ErrCanceled // want 13:`sentinel compared with ==: use errors.Is`
 }
 
 // compareNeq is the != spelling.
 func compareNeq(err error) bool {
-	return err != mine.ErrBudgetExceeded // want `sentinel compared with !=: use errors.Is`
+	return err != mine.ErrBudgetExceeded // want 13:`sentinel compared with !=: use errors.Is`
 }
 
 // goodIs classifies with errors.Is.

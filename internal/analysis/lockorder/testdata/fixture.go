@@ -1,0 +1,164 @@
+// Fixture for the lockorder analyzer: acquisition-order cycles,
+// channel sends under a lock, and sink calls under a lock.
+package fixture
+
+import "sync"
+
+// Sink mimics the caller-supplied emission interfaces (mine.Sink,
+// obs.Sink): code of unknown blocking behavior.
+type Sink interface {
+	Emit(items []uint32, support uint64) error
+	Record(name string)
+}
+
+type server struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	state int
+	ch    chan int
+	sink  Sink
+}
+
+// consistentOrder always takes mu before aux.
+func (s *server) consistentOrder() {
+	s.mu.Lock()
+	s.aux.Lock()
+	s.state++
+	s.aux.Unlock()
+	s.mu.Unlock()
+}
+
+// consistentOrderElsewhere repeats the same order: no cycle.
+func (s *server) consistentOrderElsewhere() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aux.Lock()
+	defer s.aux.Unlock()
+	s.state--
+}
+
+type registry struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	n   int
+}
+
+// abOrder and baOrder disagree on the order of the registry locks:
+// run concurrently they deadlock, each holding what the other wants.
+func (r *registry) abOrder() {
+	r.mu.Lock()
+	r.aux.Lock() // want `r.aux acquired while holding r.mu, but elsewhere they are acquired in the opposite order`
+	r.n++
+	r.aux.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *registry) baOrder() {
+	r.aux.Lock()
+	r.mu.Lock() // want `r.mu acquired while holding r.aux, but elsewhere they are acquired in the opposite order`
+	r.n--
+	r.mu.Unlock()
+	r.aux.Unlock()
+}
+
+// sendUnderLock blocks every other user of mu on a slow receiver.
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock snapshots under the lock and sends outside it.
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// sendUnderDeferredUnlock is still a send under the lock: the deferred
+// unlock runs only at return.
+func (s *server) sendUnderDeferredUnlock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while holding s.mu`
+}
+
+// emitUnderLock hands control to caller-supplied sink code while
+// holding the lock.
+func (s *server) emitUnderLock(items []uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sink.Emit(items, 1) // want `Sink.Emit called while holding s.mu`
+}
+
+// recordAfterUnlock is the obs.Recorder discipline: snapshot under the
+// lock, emit after releasing it.
+func (s *server) recordAfterUnlock() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	_ = v
+	s.sink.Record("state")
+}
+
+// recordUnderLock violates it.
+func (s *server) recordUnderLock() {
+	s.mu.Lock()
+	s.sink.Record("state") // want `Sink.Record called while holding s.mu`
+	s.mu.Unlock()
+}
+
+// selfDeadlock re-locks a mutex it already holds; sync.Mutex is not
+// reentrant.
+func (s *server) selfDeadlock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `s.mu locked again while already held on this path: self-deadlock`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// unlockedOnBothArms releases on every path before the send, which the
+// must-held analysis proves.
+func (s *server) unlockedOnBothArms(fast bool, v int) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+	} else {
+		s.state++
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// rwReadHeld applies the same rules to RWMutex read locks: a send
+// under RLock still stalls writers queued behind the reader.
+type rwCache struct {
+	mu sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (c *rwCache) readAndSend() {
+	c.mu.RLock()
+	c.ch <- c.n // want `channel send while holding c.mu`
+	c.mu.RUnlock()
+}
+
+func (c *rwCache) readThenSend() {
+	c.mu.RLock()
+	n := c.n
+	c.mu.RUnlock()
+	c.ch <- n
+}
+
+// goroutineStartsFresh: a spawned goroutine has its own empty held
+// set, so its send is not "under" the spawner's lock; the analyzer
+// checks the literal's body independently.
+func (s *server) goroutineStartsFresh(v int) {
+	s.mu.Lock()
+	go func() {
+		s.ch <- v
+	}()
+	s.mu.Unlock()
+}

@@ -3,28 +3,33 @@
 // all return paths, or its duration and byte delta silently vanish
 // from the phase aggregates (and JSONL traces under-report the run).
 //
-// Mechanically, for each function scope — a function declaration or a
-// function literal, each analyzed separately — every call to
-// (*obs.Recorder).Start must be followed, later in the same scope, by
-// a (obs.Span).End call. A deferred End always satisfies the rule
-// (deferred calls run on every exit path); a plain End satisfies it
-// only when no return statement of the same scope sits between the
-// Start and that End, which accepts the repo's canonical
-// End-before-error-return idiom:
+// The rule is path-sensitive: a may-analysis over the function's CFG
+// tracks, per control-flow path, the set of spans that are open (a
+// `sp = rec.Start(...)` executed with no `sp.End()` yet). Any span
+// still open when the exit block is reached escaped some return path
+// and is reported at its Start. This accepts the repo's canonical
+// idioms without suppressions:
 //
-//	sp := rec.Start(obs.PhasePass1)
-//	counts, err := dataset.CountItems(src)
-//	sp.End()
-//	if err != nil {
-//		return err
-//	}
+//   - End-before-error-return: `sp := rec.Start(p); work(); sp.End();
+//     if err != nil { return err }` — every path through the return
+//     has already ended the span.
+//   - deferred End: `defer sp.End()` closes the spans of sp that are
+//     open at the defer point on every exit path. The defer captures
+//     the span value, so a Start after the defer is NOT covered
+//     (ending the zero span is a no-op) — unlike a deferred closure
+//     `defer func() { sp.End() }()`, which re-reads sp at unwind and
+//     covers later Starts too.
+//   - conditional Start: `var sp obs.Span; if top { sp = rec.Start(p) }
+//     ...; sp.End()` — the zero span's End is a no-op, and the one
+//     open path is closed by the unconditional End.
 //
-// Returns inside nested function literals do not count against the
-// enclosing scope (the literal's body is its own scope), so spans
-// wrapped around Scan-style callback loops are accepted. Note that
-// `defer sp.End()` placed before the Start is not accepted: the defer
-// captures the span value at defer time, so it would end the zero
-// span, not the one started later.
+// Paths that terminate in panic(...) are not return paths and do not
+// count. Function literals are independent scopes: a span started in a
+// literal must end in that literal, and returns inside a literal do
+// not count against the enclosing function. A span value that escapes
+// — returned, passed to a call, assigned to a field, or captured by a
+// non-deferred literal that mentions it — is assumed ended by its new
+// owner.
 package obsguard
 
 import (
@@ -33,6 +38,8 @@ import (
 	"go/types"
 
 	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/dataflow"
 )
 
 // Analyzer is the obsguard rule. The driver applies it to the
@@ -42,13 +49,223 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "obsguard",
 	Doc: `requires every obs span started ((*obs.Recorder).Start) to be
-ended on all return paths of the same function scope — via a deferred
-(obs.Span).End, or a plain End with no return between Start and End —
-so no phase measurement is silently dropped from traces`,
+ended ((obs.Span).End) on every return path of the same function
+scope, tracked path-sensitively over the CFG, so no phase measurement
+is silently dropped from traces`,
 	Run: run,
 }
 
 const obsPath = "cfpgrowth/internal/obs"
+
+// openKey identifies one open span: the variable it was assigned to
+// and the Start call that opened it.
+type openKey struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// state is the per-path analysis state.
+type state struct {
+	// open holds the spans started but not yet ended on this path
+	// (may-set: union join).
+	open map[openKey]bool
+	// closed holds the variables covered by a deferred closure that
+	// re-reads them at unwind (must-set: intersection join).
+	closed map[types.Object]bool
+}
+
+type obsProblem struct {
+	pass *analysis.Pass
+}
+
+func (p obsProblem) Entry() state {
+	return state{open: map[openKey]bool{}, closed: map[types.Object]bool{}}
+}
+
+func (p obsProblem) Clone(s state) state {
+	c := state{
+		open:   make(map[openKey]bool, len(s.open)),
+		closed: make(map[types.Object]bool, len(s.closed)),
+	}
+	for k := range s.open {
+		c.open[k] = true
+	}
+	for k := range s.closed {
+		c.closed[k] = true
+	}
+	return c
+}
+
+func (p obsProblem) Join(a, b state) state {
+	j := p.Clone(a)
+	for k := range b.open {
+		j.open[k] = true
+	}
+	for o := range j.closed {
+		if !b.closed[o] {
+			delete(j.closed, o)
+		}
+	}
+	return j
+}
+
+func (p obsProblem) Equal(a, b state) bool {
+	if len(a.open) != len(b.open) || len(a.closed) != len(b.closed) {
+		return false
+	}
+	for k := range a.open {
+		if !b.open[k] {
+			return false
+		}
+	}
+	for o := range a.closed {
+		if !b.closed[o] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p obsProblem) Refine(s state, cond ast.Expr, taken bool) state { return s }
+
+// Transfer mutates and returns s (the solver hands it a private copy).
+func (p obsProblem) Transfer(s state, n ast.Node) state {
+	info := p.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Escapes and Ends in the RHS happen before the assignment.
+		for _, rhs := range n.Rhs {
+			p.scanExpr(s, rhs)
+		}
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break
+			}
+			if start := startCall(info, n.Rhs[i]); start != nil {
+				if obj := identObj(info, lhs); obj != nil {
+					s.open[openKey{obj, start.Pos()}] = true
+				}
+			} else if obj := identObj(info, lhs); obj != nil {
+				// Reassignment from a non-Start value: the variable no
+				// longer holds any tracked span.
+				dropOpens(s, obj)
+			}
+		}
+	case *ast.DeferStmt:
+		p.transferDefer(s, n)
+	default:
+		p.scanExpr(s, n)
+	}
+	return s
+}
+
+// scanExpr walks a node (not descending into literal bodies except to
+// detect captures), applying End calls and escapes.
+func (p obsProblem) scanExpr(s state, n ast.Node) {
+	info := p.pass.TypesInfo
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.Callee(info, m); fn != nil && isSpanEnd(fn) {
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					if obj := identObj(info, sel.X); obj != nil {
+						dropOpens(s, obj)
+						return false // receiver consumed; don't treat as escape
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// A literal capturing a tracked span variable may end it:
+			// treat as escape.
+			for _, obj := range capturedTracked(info, s, m) {
+				dropOpens(s, obj)
+			}
+			return true // Inspect already skips the body
+		case *ast.Ident:
+			// Any other use of an open span value (argument, return,
+			// RHS of an assignment to another variable) hands it off;
+			// the End-receiver form never reaches here because the
+			// CallExpr case above stops the walk.
+			if obj := info.Uses[m]; obj != nil && hasOpens(s, obj) {
+				dropOpens(s, obj)
+			}
+		}
+		return true
+	})
+}
+
+// transferDefer models a defer statement: a direct `defer sp.End()`
+// closes the spans sp holds now; a deferred closure that mentions sp
+// closes current and future spans of sp.
+func (p obsProblem) transferDefer(s state, d *ast.DeferStmt) {
+	info := p.pass.TypesInfo
+	call := d.Call
+	if fn := analysis.Callee(info, call); fn != nil && isSpanEnd(fn) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := identObj(info, sel.X); obj != nil {
+				dropOpens(s, obj)
+				return
+			}
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		for _, obj := range capturedSpanVars(info, lit) {
+			dropOpens(s, obj)
+			s.closed[obj] = true
+		}
+		return
+	}
+	// Anything else deferred with a span argument is an escape.
+	p.scanExpr(s, call)
+}
+
+func dropOpens(s state, obj types.Object) {
+	for k := range s.open {
+		if k.obj == obj {
+			delete(s.open, k)
+		}
+	}
+}
+
+func hasOpens(s state, obj types.Object) bool {
+	for k := range s.open {
+		if k.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedTracked returns the tracked-open span variables referenced
+// anywhere in lit's body.
+func capturedTracked(info *types.Info, s state, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && hasOpens(s, obj) {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedSpanVars returns every obs.Span-typed variable referenced in
+// lit's body (used for deferred closures, which cover future Starts
+// too, so membership cannot depend on the current open set).
+func capturedSpanVars(info *types.Info, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && isSpanType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
 
 func run(pass *analysis.Pass) error {
 	for _, fd := range pass.FuncDecls() {
@@ -72,82 +289,110 @@ func scopes(root *ast.BlockStmt) []*ast.BlockStmt {
 	return out
 }
 
-// endCall is one (obs.Span).End call site in a scope.
-type endCall struct {
-	pos      token.Pos
-	deferred bool
-}
-
-// checkScope analyzes one function body, not descending into nested
-// function literals (each is its own scope).
+// checkScope solves the open-span analysis for one scope and reports:
+// Start results that are discarded (leaked immediately) and spans
+// still open when the exit block is reached.
 func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
-	var starts []*ast.CallExpr
-	var ends []endCall
-	var returns []token.Pos
-	var stack []ast.Node
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // separate scope
-		}
+	info := pass.TypesInfo
+	prob := obsProblem{pass: pass}
+	g := cfg.New(body)
+	res := dataflow.Forward[state](g, prob)
+
+	// Discarded Start results: a Start call not assigned to a plain
+	// variable and not consumed by an enclosing expression leaks at
+	// once. Only ExprStmt and blank-assign forms are reported; a Start
+	// passed along or returned is an ownership transfer.
+	res.Iterate(g, prob, func(n ast.Node, _ state) {
 		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			returns = append(returns, n.Pos())
-		case *ast.CallExpr:
-			if fn := analysis.Callee(pass.TypesInfo, n); fn != nil {
-				switch {
-				case isRecorderStart(fn):
-					starts = append(starts, n)
-				case isSpanEnd(fn):
-					_, deferred := parent(stack).(*ast.DeferStmt)
-					ends = append(ends, endCall{pos: n.Pos(), deferred: deferred})
+		case *ast.ExprStmt:
+			if start := startCall(info, n.X); start != nil {
+				reportLeak(pass, start.Pos(), false)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				start := startCall(info, rhs)
+				if start == nil || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					reportLeak(pass, start.Pos(), false)
 				}
 			}
 		}
-		stack = append(stack, n)
-		return true
 	})
-	for _, s := range starts {
-		checkStart(pass, s, ends, returns)
-	}
-}
 
-func parent(stack []ast.Node) ast.Node {
-	if len(stack) == 0 {
-		return nil
+	if !res.ExitReached {
+		return
 	}
-	return stack[len(stack)-1]
-}
-
-// checkStart verifies one Start call: the first End after it must
-// exist, and — unless that End is deferred — no return of the scope
-// may sit between the Start and it.
-func checkStart(pass *analysis.Pass, start *ast.CallExpr, ends []endCall, returns []token.Pos) {
-	var first *endCall
-	for i := range ends {
-		if ends[i].pos <= start.Pos() {
+	// Spans open at exit on some path, unless covered by a deferred
+	// closure.
+	reported := map[openKey]bool{}
+	for k := range res.Exit.open {
+		if res.Exit.closed[k.obj] || reported[k] {
 			continue
 		}
-		if first == nil || ends[i].pos < first.pos {
-			first = &ends[i]
+		reported[k] = true
+		// Message selection: if no End of this variable appears after
+		// the Start, the span is simply never ended; otherwise some
+		// path bypasses the End.
+		reportLeak(pass, k.pos, hasLaterEnd(pass, body, k))
+	}
+}
+
+func reportLeak(pass *analysis.Pass, pos token.Pos, partial bool) {
+	if partial {
+		pass.Reportf(pos, "obs span started here is not ended on every return path (a return between Start and End skips it); call End before each return or defer it")
+	} else {
+		pass.Reportf(pos, "obs span started here is never ended in this function (add sp.End() or defer sp.End())")
+	}
+}
+
+// hasLaterEnd reports whether an End call on k.obj appears lexically
+// after the Start in this scope (so the span is ended on some paths).
+func hasLaterEnd(pass *analysis.Pass, body *ast.BlockStmt, k openKey) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
 		}
-	}
-	if first == nil {
-		pass.Reportf(start.Pos(), "obs span started here is never ended in this function (add sp.End() or defer sp.End())")
-		return
-	}
-	if first.deferred {
-		return
-	}
-	for _, r := range returns {
-		if start.Pos() < r && r < first.pos {
-			pass.Reportf(start.Pos(), "return between this obs span's Start and its End can leave the span unfinished; call End before returning or defer it")
-			return
+		fn := analysis.Callee(info, call)
+		if fn == nil || !isSpanEnd(fn) || call.Pos() <= k.pos {
+			return true
 		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if identObj(info, sel.X) == k.obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// startCall returns e as a (*obs.Recorder).Start call, or nil.
+func startCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
 	}
+	if fn := analysis.Callee(info, call); fn != nil && isRecorderStart(fn) {
+		return call
+	}
+	return nil
+}
+
+// identObj resolves e to the local variable object it names, or nil.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
 }
 
 // isRecorderStart reports whether fn is (*obs.Recorder).Start.
@@ -158,6 +403,18 @@ func isRecorderStart(fn *types.Func) bool {
 // isSpanEnd reports whether fn is (obs.Span).End.
 func isSpanEnd(fn *types.Func) bool {
 	return fn.Name() == "End" && hasObsRecv(fn, "Span")
+}
+
+func isSpanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Span" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == obsPath
 }
 
 func hasObsRecv(fn *types.Func, typeName string) bool {

@@ -37,12 +37,73 @@ func neverEnded(rec *obs.Recorder) {
 
 // returnBetween can exit between Start and End, losing the span.
 func returnBetween(rec *obs.Recorder, fail bool) error {
-	sp := rec.Start(obs.PhaseConvert) // want `return between this obs span's Start and its End`
+	sp := rec.Start(obs.PhaseConvert) // want `obs span started here is not ended on every return path`
 	if fail {
 		return errBoom
 	}
 	sp.End()
 	return nil
+}
+
+// endedOnOneArmOnly ends the span in one branch but leaks it through
+// the other — the old "an End exists later" rule accepted this.
+func endedOnOneArmOnly(rec *obs.Recorder, fast bool) {
+	sp := rec.Start(obs.PhaseMine) // want `obs span started here is not ended on every return path`
+	if fast {
+		sp.End()
+	}
+	work()
+}
+
+// endedOnBothArms ends the span on every branch before the join.
+func endedOnBothArms(rec *obs.Recorder, fast bool) {
+	sp := rec.Start(obs.PhaseMine)
+	if fast {
+		sp.End()
+	} else {
+		work()
+		sp.End()
+	}
+	work()
+}
+
+// panicPathDoesNotCount: a panicking path is not a return path, so the
+// canonical assert-then-end shape is accepted.
+func panicPathDoesNotCount(rec *obs.Recorder, n int) {
+	sp := rec.Start(obs.PhaseStats)
+	if n < 0 {
+		panic("negative")
+	}
+	sp.End()
+}
+
+// deferredClosureCoversLaterStart: unlike a direct deferred End, a
+// deferred closure re-reads sp at unwind, so it covers spans started
+// after the defer too.
+func deferredClosureCoversLaterStart(rec *obs.Recorder) {
+	var sp obs.Span
+	defer func() { sp.End() }()
+	sp = rec.Start(obs.PhaseStats)
+	work()
+}
+
+// escapedSpanIsOwnerEnded: returning the span transfers ownership to
+// the caller, so no leak is reported here.
+func escapedSpanIsOwnerEnded(rec *obs.Recorder) obs.Span {
+	sp := rec.Start(obs.PhaseShard)
+	return sp
+}
+
+// loopLeak starts a fresh span per iteration but skips End when the
+// item is filtered out, leaking one span per skipped item.
+func loopLeak(rec *obs.Recorder, xs []int) {
+	for _, x := range xs {
+		sp := rec.Start(obs.PhaseMine) // want `obs span started here is not ended on every return path`
+		if x < 0 {
+			continue
+		}
+		sp.End()
+	}
 }
 
 // conditionalStart is the reset-then-maybe-start idiom of the miners:

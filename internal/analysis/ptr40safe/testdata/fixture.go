@@ -7,12 +7,12 @@ import "cfpgrowth/internal/encoding"
 
 // rawMarkerCompare tests a slot header byte against a literal 0xFF.
 func rawMarkerCompare(b []byte) bool {
-	return b[0] == 0xFF // want `magic 0xFF compared against a byte: use encoding.Ptr40EmbedMarker`
+	return b[0] == 0xFF // want 17:`magic 0xFF compared against a byte: use encoding.Ptr40EmbedMarker`
 }
 
 // rawMarkerStore writes the embed marker as a literal.
 func rawMarkerStore(b []byte) {
-	b[0] = 0xFF // want `magic 0xFF stored into a byte: use encoding.Ptr40EmbedMarker`
+	b[0] = 0xFF // want 9:`magic 0xFF stored into a byte: use encoding.Ptr40EmbedMarker`
 }
 
 // goodMarker goes through the named constant.

@@ -45,8 +45,23 @@ func (d *directive) covers(name string, pos token.Position) bool {
 // sorted by position. Directive problems (a missing reason, a
 // directive that suppressed nothing) are reported as findings of the
 // pseudo-analyzer "cfplint" so that stale suppressions rot loudly, not
-// silently.
+// silently. Each call uses a fresh fact store; drivers analyzing many
+// packages should thread one store through RunWithFacts in dependency
+// order so cross-package facts flow.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunWithFacts(pkg, analyzers, NewFactStore())
+}
+
+// RunWithFacts is Run with a caller-owned fact store: facts exported
+// while analyzing earlier packages (the dependencies) are visible to
+// analyzers of later ones. The analyzer list is expanded with the
+// transitive Requires closure and topologically sorted so producers
+// run before consumers.
+func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
+	analyzers, err := expand(analyzers)
+	if err != nil {
+		return nil, err
+	}
 	dirs := collectDirectives(pkg)
 	var findings []Finding
 	for _, a := range analyzers {
@@ -56,6 +71,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			facts:     facts,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
@@ -103,6 +119,38 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		return a.Column < b.Column
 	})
 	return findings, nil
+}
+
+// expand returns the transitive Requires closure of analyzers in
+// topological order (dependencies first), preserving the relative
+// order of independent entries. A Requires cycle is an error.
+func expand(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var out []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: Requires cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		out = append(out, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // anyKnown reports whether the directive names at least one analyzer of

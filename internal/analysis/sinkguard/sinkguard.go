@@ -1,27 +1,60 @@
 // Package sinkguard enforces the PR 1 concurrency invariant: once a
 // mining run's mine.Control is stopped — by cancellation, a blown
 // budget, or a failing sink — no further itemsets may be emitted.
-// Mechanically: every function that calls a Sink's Emit method must
-// poll the control (Control.Err or Control.Stopped) earlier in that
-// same function, so each emission site sits behind a stop check on its
-// own path.
+// Mechanically: every call to a Sink's Emit method must be dominated
+// by a stop check — a poll of Control.Err or Control.Stopped that
+// happens on every control-flow path from function entry to the
+// emission.
 //
-// The "same path" condition is approximated lexically: a stop check
-// anywhere earlier (by source position) in the same function
-// declaration, including inside nested function literals, satisfies
-// the rule. This accepts a guard at function entry and the
-// check-then-emit idiom of the emit helpers; a function that emits
-// without ever consulting a control is exactly the bug class PR 1
-// fixed in the parallel miner and cannot pass.
+// The rule is path-sensitive. It solves a must-analysis ("has a stop
+// check happened on all paths to here?") over the function's CFG, so
+// a check inside only one branch of an if does not excuse an emission
+// after the join, while a check in the condition position (`if
+// ctl.Stopped() { return }`) guards both arms. Two refinements make
+// the common idioms precise without suppressions:
+//
+//   - Helper facts: the companion facts pass records a ChecksControl
+//     fact for every function that performs a stop check on every path
+//     to its return (the check-then-emit helpers of the miners).
+//     Calling such a helper counts as a check in the caller, including
+//     across packages when the driver shares a fact store.
+//   - Function literals inherit the dataflow state at their creation
+//     point: a literal created after an entry guard is itself guarded,
+//     but a check inside a literal body never guards emissions in the
+//     enclosing function (the literal runs at call time, not here).
+//
+// Checks inside defer and go statements do not guard later emissions
+// (they run at unwind / on another goroutine).
 package sinkguard
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/dataflow"
 )
+
+// ChecksControl is the fact exported for functions that poll a
+// mine.Control (directly or via another ChecksControl function) on
+// every path from entry to every return.
+type ChecksControl struct{}
+
+// AFact marks ChecksControl as a fact type.
+func (*ChecksControl) AFact() {}
+
+// FactsAnalyzer computes ChecksControl facts for the current package.
+// It reports nothing; it exists so the main analyzer's Requires edge
+// makes the producer/consumer ordering explicit to the runner.
+var FactsAnalyzer = &analysis.Analyzer{
+	Name: "sinkguardfacts",
+	Doc: `exports a ChecksControl fact for every function that performs a
+mine.Control stop-check on all paths to its return; consumed by
+sinkguard to accept emissions guarded through package-local helpers`,
+	FactTypes: []analysis.Fact{new(ChecksControl)},
+	Run:       runFacts,
+}
 
 // Analyzer is the sinkguard rule. The driver applies it to the mining
 // packages (internal/core, internal/pfp, internal/fptree,
@@ -29,54 +62,145 @@ import (
 // the checked sinks, is exempt.
 var Analyzer = &analysis.Analyzer{
 	Name: "sinkguard",
-	Doc: `requires every function calling Sink.Emit to poll a
-mine.Control (Err or Stopped) earlier in the same function, so no
-itemset is emitted after the run has been stopped`,
-	Run: run,
+	Doc: `requires every Sink.Emit call to be dominated by a
+mine.Control stop-check (Err or Stopped) — on every control-flow path
+from function entry, or inside a helper that provably checks on all
+paths — so no itemset is emitted after the run has been stopped`,
+	Requires:  []*analysis.Analyzer{FactsAnalyzer},
+	FactTypes: []analysis.Fact{new(ChecksControl)},
+	Run:       run,
 }
 
 const minePath = "cfpgrowth/internal/mine"
 
-func run(pass *analysis.Pass) error {
-	for _, fd := range pass.FuncDecls() {
-		checkFunc(pass, fd)
+// checkedProblem is the must-analysis lattice: state is "a stop check
+// has happened on every path to this point".
+type checkedProblem struct {
+	pass *analysis.Pass
+}
+
+func (p checkedProblem) Entry() bool { return false }
+
+func (p checkedProblem) Transfer(s bool, n ast.Node) bool {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// A deferred or spawned check does not guard what follows.
+		return s
+	}
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := analysis.Callee(p.pass.TypesInfo, call); fn != nil && p.isCheck(fn) {
+			s = true
+		}
+		return true
+	})
+	return s
+}
+
+func (p checkedProblem) Refine(s bool, cond ast.Expr, taken bool) bool { return s }
+func (p checkedProblem) Join(a, b bool) bool                           { return a && b }
+func (p checkedProblem) Equal(a, b bool) bool                          { return a == b }
+func (p checkedProblem) Clone(s bool) bool                             { return s }
+
+// isCheck reports whether calling fn counts as a stop check: a direct
+// Control.Err/Stopped poll or a function carrying the ChecksControl
+// fact.
+func (p checkedProblem) isCheck(fn *types.Func) bool {
+	if isControlCheck(fn) {
+		return true
+	}
+	return p.pass.ImportObjectFact(fn, new(ChecksControl))
+}
+
+// runFacts computes ChecksControl facts for the package to a fixpoint:
+// marking one helper can make a second helper (which calls the first)
+// check on all paths too.
+func runFacts(pass *analysis.Pass) error {
+	decls := pass.FuncDecls()
+	graphs := make(map[*ast.FuncDecl]*cfg.Graph, len(decls))
+	for _, fd := range decls {
+		graphs[fd] = cfg.New(fd.Body)
+	}
+	prob := checkedProblem{pass: pass}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || pass.ImportObjectFact(obj, new(ChecksControl)) {
+				continue
+			}
+			res := dataflow.Forward[bool](graphs[fd], prob)
+			if res.ExitReached && res.Exit {
+				pass.ExportObjectFact(obj, &ChecksControl{})
+				changed = true
+			}
+		}
 	}
 	return nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	var emits []*ast.CallExpr
-	var checks []token.Pos
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+func run(pass *analysis.Pass) error {
+	prob := checkedProblem{pass: pass}
+	for _, fd := range pass.FuncDecls() {
+		checkBody(pass, prob, fd.Body, false)
+	}
+	return nil
+}
+
+// checkBody analyzes one function body whose entry state is entry,
+// reporting unguarded emissions and recursing into function literals
+// with the state at their creation point.
+func checkBody(pass *analysis.Pass, prob checkedProblem, body *ast.BlockStmt, entry bool) {
+	g := cfg.New(body)
+	entryProb := entryProblem{checkedProblem: prob, entry: entry}
+	res := dataflow.Forward[bool](g, entryProb)
+	res.Iterate(g, entryProb, func(n ast.Node, before bool) {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Defer/go bodies see the current state but cannot GEN; an
+			// Emit inside them is checked against the creation state.
+			visitNode(pass, prob, n, before, true)
+			return
 		}
-		fn := analysis.Callee(pass.TypesInfo, call)
-		if fn == nil {
-			return true
-		}
-		switch {
-		case isSinkEmit(fn):
-			emits = append(emits, call)
-		case isControlCheck(fn):
-			checks = append(checks, call.Pos())
+		visitNode(pass, prob, n, before, false)
+	})
+}
+
+// visitNode walks one CFG node in evaluation order, interleaving
+// reporting with the same GEN logic the transfer uses so that a check
+// and an emission inside a single statement are ordered correctly.
+func visitNode(pass *analysis.Pass, prob checkedProblem, n ast.Node, s bool, frozen bool) {
+	dataflow.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, m)
+			if fn == nil {
+				return true
+			}
+			if isSinkEmit(fn) && !s {
+				pass.Reportf(m.Pos(), "Sink.Emit is not dominated by a mine.Control stop-check (Err/Stopped) in this function")
+			}
+			if !frozen && prob.isCheck(fn) {
+				s = true
+			}
+		case *ast.FuncLit:
+			checkBody(pass, prob, m.Body, s)
 		}
 		return true
 	})
-	for _, e := range emits {
-		guarded := false
-		for _, c := range checks {
-			if c < e.Pos() {
-				guarded = true
-				break
-			}
-		}
-		if !guarded {
-			pass.Reportf(e.Pos(), "Sink.Emit without a preceding mine.Control stop-check (Err/Stopped) in this function")
-		}
-	}
 }
+
+// entryProblem wraps checkedProblem with a configurable entry state so
+// nested literals inherit their creation-point state.
+type entryProblem struct {
+	checkedProblem
+	entry bool
+}
+
+func (p entryProblem) Entry() bool { return p.entry }
 
 // isSinkEmit reports whether fn is an Emit method with the mine.Sink
 // signature func([]uint32, uint64) error — matching by shape rather

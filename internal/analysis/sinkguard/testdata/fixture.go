@@ -1,5 +1,5 @@
 // Fixture for the sinkguard analyzer: emission sites with and without
-// a preceding mine.Control stop-check.
+// a dominating mine.Control stop-check.
 package fixture
 
 import "cfpgrowth/internal/mine"
@@ -11,7 +11,7 @@ type miner struct {
 
 // emitUnguarded emits without ever consulting the control.
 func (m *miner) emitUnguarded(items []uint32, sup uint64) error {
-	return m.sink.Emit(items, sup) // want `Sink.Emit without a preceding mine.Control stop-check`
+	return m.sink.Emit(items, sup) // want `Sink.Emit is not dominated by a mine.Control stop-check`
 }
 
 // emitGuarded is the canonical check-then-emit helper.
@@ -22,7 +22,8 @@ func (m *miner) emitGuarded(items []uint32, sup uint64) error {
 	return m.sink.Emit(items, sup)
 }
 
-// emitGuardedStopped uses the callback-shaped fast path.
+// emitGuardedStopped checks in the condition position: the poll
+// happens before either branch, so the emission is dominated.
 func (m *miner) emitGuardedStopped(items []uint32, sup uint64) error {
 	if m.ctl.Stopped() {
 		return m.ctl.Err()
@@ -33,14 +34,41 @@ func (m *miner) emitGuardedStopped(items []uint32, sup uint64) error {
 // emitCheckAfter polls the control only after emitting — the emission
 // itself is on an unguarded path, so it is still flagged.
 func (m *miner) emitCheckAfter(items []uint32, sup uint64) error {
-	if err := m.sink.Emit(items, sup); err != nil { // want `Sink.Emit without a preceding mine.Control stop-check`
+	if err := m.sink.Emit(items, sup); err != nil { // want `Sink.Emit is not dominated by a mine.Control stop-check`
 		return err
 	}
 	return m.ctl.Err()
 }
 
+// emitBranchOnlyCheck checks on one arm of a branch only; after the
+// join the emission is reachable through the unchecked arm. The old
+// lexical rule accepted this (a check appears earlier in the source);
+// the path-sensitive rule does not.
+func (m *miner) emitBranchOnlyCheck(items []uint32, sup uint64, verbose bool) error {
+	if verbose {
+		if err := m.ctl.Err(); err != nil {
+			return err
+		}
+	}
+	return m.sink.Emit(items, sup) // want `Sink.Emit is not dominated by a mine.Control stop-check`
+}
+
+// emitBothBranchesCheck checks on every arm, so the emission after the
+// join is dominated.
+func (m *miner) emitBothBranchesCheck(items []uint32, sup uint64, verbose bool) error {
+	if verbose {
+		if err := m.ctl.Err(); err != nil {
+			return err
+		}
+	} else if m.ctl.Stopped() {
+		return m.ctl.Err()
+	}
+	return m.sink.Emit(items, sup)
+}
+
 // emitInLoop shows an entry guard covering emissions in nested
-// control flow, including function literals.
+// control flow, including function literals (the literal inherits the
+// guarded state at its creation point).
 func (m *miner) emitInLoop(sets [][]uint32, sup uint64) error {
 	if err := m.ctl.Err(); err != nil {
 		return err
@@ -54,6 +82,43 @@ func (m *miner) emitInLoop(sets [][]uint32, sup uint64) error {
 	return nil
 }
 
+// emitPerIteration is the per-job worker idiom: the check at the top
+// of each iteration dominates that iteration's emission.
+func (m *miner) emitPerIteration(sets [][]uint32, sup uint64) error {
+	for _, s := range sets {
+		if m.ctl.Stopped() {
+			return m.ctl.Err()
+		}
+		if err := m.sink.Emit(s, sup); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitBeforeCheckInLoop emits before the iteration's check: on the
+// first iteration nothing has been polled yet.
+func (m *miner) emitBeforeCheckInLoop(sets [][]uint32, sup uint64) error {
+	for _, s := range sets {
+		if err := m.sink.Emit(s, sup); err != nil { // want `Sink.Emit is not dominated by a mine.Control stop-check`
+			return err
+		}
+		if m.ctl.Stopped() {
+			return m.ctl.Err()
+		}
+	}
+	return nil
+}
+
+// literalCheckDoesNotGuard: a stop check inside a function literal
+// runs when the literal is called, not here — it cannot guard an
+// emission in the enclosing function.
+func (m *miner) literalCheckDoesNotGuard(items []uint32, sup uint64) error {
+	probe := func() bool { return m.ctl.Stopped() }
+	_ = probe
+	return m.sink.Emit(items, sup) // want `Sink.Emit is not dominated by a mine.Control stop-check`
+}
+
 // concreteSink checks that emission through a concrete sink type (not
 // the interface) is caught by the signature match.
 type countSink struct{ n int }
@@ -64,11 +129,43 @@ func (c *countSink) Emit(items []uint32, sup uint64) error {
 }
 
 func feedConcrete(c *countSink, items []uint32) error {
-	return c.Emit(items, 1) // want `Sink.Emit without a preceding mine.Control stop-check`
+	return c.Emit(items, 1) // want `Sink.Emit is not dominated by a mine.Control stop-check`
 }
 
 // helperCall calls a guarded helper rather than Emit itself — the
 // helper checks on every call, so the caller is accepted.
 func (m *miner) helperCall(items []uint32, sup uint64) error {
 	return m.emitGuarded(items, sup)
+}
+
+// ensureLive is a check-only helper: it polls the control on every
+// path, so the facts pass exports ChecksControl for it.
+func (m *miner) ensureLive() error {
+	return m.ctl.Err()
+}
+
+// emitViaHelperFact emits directly but is guarded through the
+// ChecksControl fact of ensureLive — no direct poll appears in this
+// function at all.
+func (m *miner) emitViaHelperFact(items []uint32, sup uint64) error {
+	if err := m.ensureLive(); err != nil {
+		return err
+	}
+	return m.sink.Emit(items, sup)
+}
+
+// ensureLiveSometimes polls only on one branch, so it earns no fact
+// and cannot guard its callers.
+func (m *miner) ensureLiveSometimes(deep bool) error {
+	if deep {
+		return m.ctl.Err()
+	}
+	return nil
+}
+
+func (m *miner) emitViaWeakHelper(items []uint32, sup uint64) error {
+	if err := m.ensureLiveSometimes(true); err != nil {
+		return err
+	}
+	return m.sink.Emit(items, sup) // want `Sink.Emit is not dominated by a mine.Control stop-check`
 }

@@ -31,3 +31,38 @@ func foreignDirective() int {
 	//cfplint:ignore someothertool not our business
 	return 7
 }
+
+// multiLineExpression: the line-above form covers exactly the next
+// source line, not the whole statement — the 42 on the continuation
+// line is still flagged.
+func multiLineExpression() int {
+	//cfplint:ignore toy covers the first line of the expression only
+	return 42 +
+		42 // MARK:flagged
+}
+
+// commaList suppresses two analyzers with one directive.
+func commaList() int {
+	//cfplint:ignore toy,toy43 both literals are deliberate here
+	return 42 + 43
+}
+
+// commaListPartial names only one of the two firing analyzers; the
+// other still reports.
+func commaListPartial() int {
+	//cfplint:ignore toy43 the 43 is deliberate, the 42 is not
+	return 42 + 43 // MARK:flagged
+}
+
+// commaListWithoutReason is reported itself and suppresses neither.
+func commaListWithoutReason() int {
+	//cfplint:ignore toy,toy43
+	return 42 + 43 // MARK:flagged MARK:also43
+}
+
+// commaListHalfUsed is not stale: one of its names fired, which is
+// enough for the directive to count as used.
+func commaListHalfUsed() int {
+	//cfplint:ignore toy,toy43 only toy can fire on this line
+	return 42
+}

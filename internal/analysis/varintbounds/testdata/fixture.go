@@ -1,8 +1,17 @@
 // Fixture for the varintbounds analyzer: varint reads that can and
-// cannot notice a truncated buffer.
+// cannot notice a truncated buffer, and varint-derived values flowing
+// into slice/make sinks with and without a dominating check.
 package fixture
 
 import "cfpgrowth/internal/encoding"
+
+// assertf mirrors the debugchecks assertion layer: an executable audit
+// of an invariant, compiled out in default builds.
+func assertf(cond bool, msg string) {
+	if !cond {
+		panic(msg)
+	}
+}
 
 // discarded throws the length away; truncation becomes value 0.
 func discarded(b []byte) uint64 {
@@ -11,10 +20,12 @@ func discarded(b []byte) uint64 {
 }
 
 // unchecked advances by a length it never inspects: n == 0 on a
-// truncated buffer turns the caller's scan into an infinite loop.
+// truncated buffer turns the caller's scan into an infinite loop. The
+// lexical rule flags the read, and the taint rule additionally flags
+// the unguarded slice bound.
 func unchecked(b []byte) (uint64, uint64) {
-	a, n := encoding.Uvarint(b) // want `varint length n is never checked in this function`
-	c, _ := encoding.Uvarint(b[n:]) // want `varint length result discarded with _`
+	a, n := encoding.Uvarint(b)     // want `varint length n is never checked in this function`
+	c, _ := encoding.Uvarint(b[n:]) // want `varint length result discarded with _` `varint-derived value n is used as a slice bound`
 	return a, c
 }
 
@@ -27,16 +38,79 @@ func checked(b []byte) (uint64, int, bool) {
 	return v, n, true
 }
 
-// batchChecked decodes a full triple and validates the three lengths
-// together — the sequential-decode idiom the rule accepts.
-func batchChecked(b []byte) (uint64, uint64, uint64, bool) {
+// sequentialChecked validates each length immediately after its read —
+// the trust-boundary idiom of ReadArray's validate — so the cursor
+// advance and the next read's slice bound are always sanitized.
+func sequentialChecked(b []byte) (uint64, uint64, bool) {
 	d, n1 := encoding.Uvarint(b)
+	if n1 <= 0 {
+		return 0, 0, false
+	}
 	z, n2 := encoding.Uvarint(b[n1:])
-	c, n3 := encoding.Uvarint(b[n1+n2:])
+	if n2 <= 0 {
+		return 0, 0, false
+	}
+	return d, z, true
+}
+
+// batchCheckedLate defers all validation to the end: the lexical rule
+// is satisfied (each length is compared somewhere), but the
+// intermediate slice bounds run on unchecked lengths — exactly the
+// deferred-validation hole the taint layer closes.
+func batchCheckedLate(b []byte) (uint64, uint64, uint64, bool) {
+	d, n1 := encoding.Uvarint(b)
+	z, n2 := encoding.Uvarint(b[n1:])    // want `varint-derived value n1 is used as a slice bound`
+	c, n3 := encoding.Uvarint(b[n1+n2:]) // want `varint-derived value n1 is used as a slice bound`
 	if n1 <= 0 || n2 <= 0 || n3 <= 0 {
 		return 0, 0, 0, false
 	}
 	return d, z, c, true
+}
+
+// branchLocal is the case the old syntactic pass provably missed: the
+// value is compared against len(b), so "a comparison exists in the
+// function" holds — but the check is on the if arm and the unchecked
+// else arm indexes with it anyway.
+func branchLocal(b []byte) byte {
+	v, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return 0
+	}
+	if int(v) < len(b) {
+		return b[v] // sanitized on this path by the check above
+	}
+	return b[v] // want `varint-derived value v is used as an index`
+}
+
+// branchLocalInverted sanitizes on the false edge of an inverted
+// comparison (len(b) on the left).
+func branchLocalInverted(b []byte) byte {
+	v, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return 0
+	}
+	if len(b) <= int(v) {
+		return 0
+	}
+	return b[v]
+}
+
+// makeSink sizes an allocation from an unchecked count.
+func makeSink(b []byte) []uint32 {
+	count, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return nil
+	}
+	return make([]uint32, count) // want `varint-derived value count is used as a make size`
+}
+
+// makeChecked bounds the count before allocating.
+func makeChecked(b []byte, limit uint64) []uint32 {
+	count, n := encoding.Uvarint(b)
+	if n <= 0 || count > limit {
+		return nil
+	}
+	return make([]uint32, count)
 }
 
 // skipped must check SkipUvarint's length too.
@@ -54,9 +128,34 @@ func skipChecked(b []byte) (int, bool) {
 	return n, true
 }
 
-// trusted runs behind a validated trust boundary and says so.
+// trusted runs behind a validated trust boundary and says so with an
+// executable assert — the audited replacement for the
+// //cfplint:ignore directive this case used to need.
 func trusted(b []byte) uint64 {
-	//cfplint:ignore varintbounds fixture: buffer validated upstream
-	v, _ := encoding.Uvarint(b)
+	v, n := encoding.Uvarint(b)
+	assertf(n > 0, "buffer validated upstream")
 	return v
+}
+
+// assertAudited shows the assert audit sanitizing a sink even though
+// the assert sits behind a constant-false debug gate in default
+// builds: it is an executable, CI-verified annotation.
+const debugChecks = false
+
+func assertAudited(b []byte) byte {
+	v, n := encoding.Uvarint(b)
+	if debugChecks {
+		assertf(n > 0, "truncated")
+		assertf(v < uint64(len(b)), "offset out of range")
+	}
+	return b[v]
+}
+
+// taintThroughArithmetic tracks taint through assignment and
+// arithmetic into a derived cursor.
+func taintThroughArithmetic(b []byte) byte {
+	_, n := encoding.Uvarint(b) // want `varint length n is never checked in this function`
+	pos := 0
+	pos += n
+	return b[pos] // want `varint-derived value pos is used as an index`
 }

@@ -84,6 +84,8 @@ func (e *Element) ParentLocal() uint64 { return uint64(int64(e.Local) - e.Dpos) 
 // ScanItem iterates rank rk's subarray in storage order, invoking fn
 // for each element. This is the sideways traversal that replaces
 // nodelink chains.
+//
+//cfplint:hot
 func (a *Array) ScanItem(rk uint32, fn func(e Element) bool) {
 	lo, hi := a.starts[rk], a.starts[rk+1]
 	pos := lo
@@ -108,6 +110,8 @@ func (a *Array) At(rk uint32, local uint64) Element {
 // Triples are validated once at their trust boundaries (Convert for
 // in-process builds, ReadArray for files), so the decoders below run
 // unchecked; debugchecks builds re-assert the invariants here.
+//
+//cfplint:hot
 func (a *Array) ParentFields(rk uint32, local uint64) (delta uint32, dpos int64) {
 	b := a.data[a.starts[rk]+local:]
 	d, n1 := encoding.Uvarint(b)
@@ -122,6 +126,9 @@ func (a *Array) ParentFields(rk uint32, local uint64) (delta uint32, dpos int64)
 	return uint32(d), encoding.Unzigzag(z)
 }
 
+// decode reads one full (Δitem, Δpos, count) triple.
+//
+//cfplint:hot
 func (a *Array) decode(rk uint32, local uint64, b []byte) (Element, int) {
 	d, n1 := encoding.Uvarint(b)
 	if debugChecks {
@@ -154,6 +161,8 @@ func (a *Array) decode(rk uint32, local uint64, b []byte) (Element, int) {
 // backward checking that it covers the rest of the set. Cost is
 // O(nodes of the least frequent item × path length); no mining run is
 // needed.
+//
+//cfplint:hot
 func (a *Array) SupportOf(ranks []uint32) uint64 {
 	if len(ranks) == 0 {
 		return 0
@@ -193,6 +202,8 @@ func (a *Array) SupportOf(ranks []uint32) uint64 {
 // PathTo appends to buf the item ranks of the element's ancestors
 // (excluding the element itself), from nearest to the root, by backward
 // traversal. Used to assemble conditional pattern bases.
+//
+//cfplint:hot
 func (a *Array) PathTo(e Element, buf []uint32) []uint32 {
 	rk, local, delta, dpos := e.Rank, e.Local, e.Delta, e.Dpos
 	for int64(rk)-int64(delta) >= 0 {

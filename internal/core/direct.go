@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
@@ -82,12 +82,15 @@ type directGrower struct {
 	emitBuf []uint32
 }
 
+// emit sorts prefix into ascending identifier order and forwards it.
+//
+//cfplint:hot
 func (m *directGrower) emit(prefix []uint32, support uint64) error {
 	if err := m.ctl.Err(); err != nil {
 		return err
 	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
-	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	slices.Sort(m.emitBuf)
 	return m.sink.Emit(m.emitBuf, support)
 }
 

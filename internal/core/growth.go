@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
@@ -185,12 +185,16 @@ type cfpGrower struct {
 	pathBuf   []uint32
 }
 
+// emit sorts prefix into ascending identifier order and forwards it
+// to the sink.
+//
+//cfplint:hot
 func (m *cfpGrower) emit(prefix []uint32, support uint64) error {
 	if err := m.ctl.Err(); err != nil {
 		return err
 	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
-	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	slices.Sort(m.emitBuf)
 	if err := m.sink.Emit(m.emitBuf, support); err != nil {
 		return err
 	}
@@ -299,6 +303,8 @@ func (m *cfpGrower) minePath(t *Tree, path []PathNode, prefix []uint32) error {
 // from least to most frequent, emit it, assemble its conditional
 // pattern base by backward traversal, build the conditional CFP-tree
 // (in the recycled tree arena), and recurse.
+//
+//cfplint:hot
 func (m *cfpGrower) mineArray(a *Array, prefix []uint32) error {
 	for rk := a.NumItems() - 1; rk >= 0; rk-- {
 		if err := m.ctl.Err(); err != nil {
@@ -334,6 +340,8 @@ func (m *cfpGrower) mineArray(a *Array, prefix []uint32) error {
 // backward. The first computes conditional supports; the second inserts
 // the filtered, weighted paths. Returns nil when no conditional item is
 // frequent.
+//
+//cfplint:hot
 func (m *cfpGrower) conditional(a *Array, rank uint32) *Tree {
 	condCount := make([]uint64, rank)
 	a.ScanItem(rank, func(e Element) bool {

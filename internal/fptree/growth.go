@@ -1,7 +1,7 @@
 package fptree
 
 import (
-	"sort"
+	"slices"
 
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
@@ -136,12 +136,14 @@ type grower struct {
 }
 
 // emit sorts prefix into ascending identifier order and forwards it.
+//
+//cfplint:hot
 func (m *grower) emit(prefix []uint32, support uint64) error {
 	if err := m.ctl.Err(); err != nil {
 		return err
 	}
 	m.emitBuf = append(m.emitBuf[:0], prefix...)
-	sort.Slice(m.emitBuf, func(i, j int) bool { return m.emitBuf[i] < m.emitBuf[j] })
+	slices.Sort(m.emitBuf)
 	if err := m.sink.Emit(m.emitBuf, support); err != nil {
 		return err
 	}
@@ -154,6 +156,8 @@ func (m *grower) emit(prefix []uint32, support uint64) error {
 // mine emits every frequent itemset that extends prefix with items of
 // tree t (§2.1: pick least frequent item, recurse on its conditional
 // tree, remove, repeat).
+//
+//cfplint:hot
 func (m *grower) mine(t *Tree, prefix []uint32) error {
 	if path, ok := t.SinglePath(); ok {
 		return m.minePath(t, path, prefix)
@@ -232,6 +236,8 @@ func (m *grower) minePath(t *Tree, path []uint32, prefix []uint32) error {
 // item space keeps the parent tree's rank order, so paths arrive
 // already sorted and no re-ranking pass is needed. Returns nil when the
 // conditional tree is empty.
+//
+//cfplint:hot
 func (m *grower) conditional(t *Tree, rk uint32) *Tree {
 	// Pass 1 over the nodelink chain: conditional item supports.
 	condCount := make([]uint64, rk)
@@ -252,8 +258,10 @@ func (m *grower) conditional(t *Tree, rk uint32) *Tree {
 		return nil
 	}
 	cond := New(t.ItemName[:rk], condCount)
-	// Pass 2: insert each filtered prefix path with its weight.
-	var path []uint32
+	// Pass 2: insert each filtered prefix path with its weight. A
+	// prefix path holds distinct ranks below rk, so rk bounds its
+	// length: one allocation covers every iteration.
+	path := make([]uint32, 0, rk)
 	for n := t.Heads[rk]; n != 0; n = t.Nodes[n].Nodelink {
 		w := t.Nodes[n].Count
 		path = path[:0]

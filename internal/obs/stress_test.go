@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRecorderStress hammers one Recorder's counters, byte gauges
+// (including the peak CAS loop), depth maximum, spans, and snapshot
+// reads from GOMAXPROCS goroutines at once. It asserts the exact
+// final values — the atomics must not lose updates — and under
+// `go test -race` (the make check configuration) it doubles as the
+// proof that the hot recorder paths are free of plain-field races.
+func TestRecorderStress(t *testing.T) {
+	rec := New(nil)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rec.Add(CtrItemsets, 1)
+				rec.Add(CtrCondTrees, 2)
+				// Balanced alloc/free pairs: cur returns to 0, while
+				// the racing peak CAS must observe at least one
+				// worker's live allocation.
+				rec.Alloc(64)
+				rec.ObserveDepth(w*iters + i)
+				sp := rec.Start(PhaseMine)
+				sp.End()
+				rec.Free(64)
+				if i%256 == 0 {
+					// Concurrent readers must not perturb the counts.
+					_ = rec.Snapshot()
+					_ = rec.CurBytes()
+					_ = rec.PeakBytes()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := int64(workers * iters)
+	if got := rec.Count(CtrItemsets); got != total {
+		t.Errorf("CtrItemsets = %d, want %d (lost atomic updates)", got, total)
+	}
+	if got := rec.Count(CtrCondTrees); got != 2*total {
+		t.Errorf("CtrCondTrees = %d, want %d", got, 2*total)
+	}
+	if got := rec.CurBytes(); got != 0 {
+		t.Errorf("CurBytes = %d after balanced alloc/free, want 0", got)
+	}
+	if got := rec.PeakBytes(); got < 64 || got > int64(workers)*64 {
+		t.Errorf("PeakBytes = %d, want within [64, %d]", got, workers*64)
+	}
+	wantDepth := int64(workers*iters - 1)
+	if got := rec.MaxDepth(); got != wantDepth {
+		t.Errorf("MaxDepth = %d, want %d (CAS loop lost the maximum)", got, wantDepth)
+	}
+	if got := rec.Phases()[PhaseMine].Count; got != total {
+		t.Errorf("PhaseMine span count = %d, want %d", got, total)
+	}
+}
