@@ -9,6 +9,7 @@
 //	experiments table1 table2 fig6a
 //	experiments -scale 500 -budget 16 fig7a fig8c
 //	experiments -json-out out/ bench
+//	experiments -json-out out/ -baseline . bench
 //	experiments -validate-bench out/BENCH_quest1.json
 //
 // The bench target mines the standard datasets under the observability
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"cfpgrowth/internal/experiments"
@@ -38,6 +40,7 @@ func main() {
 		maxBytes = flag.Int64("max-bytes", 0, "abort any sweep whose modeled mining memory exceeds this many bytes (0 = no limit)")
 		jsonOut  = flag.String("json-out", "", "directory receiving BENCH_<dataset>.json records (bench target)")
 		validate = flag.String("validate-bench", "", "validate this BENCH_*.json file and exit")
+		baseline = flag.String("baseline", "", "directory of committed BENCH_*.json records to compare fresh bench records against (bench target; nonzero exit on regression)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -52,7 +55,7 @@ func main() {
 		return
 	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] [-timeout D] [-max-bytes N] [-json-out DIR] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|bench|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-scale N] [-budget MiB] [-quick] [-timeout D] [-max-bytes N] [-json-out DIR] [-baseline DIR] <table1|table2|table3|fig6a|fig6b|fig7a|fig7b|fig7c|fig7d|fig8a|fig8b|fig8c|fig8d|bench|all>...")
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Scale: *scale, MemBudget: *budget << 20, Quick: *quick}.WithDefaults()
@@ -175,8 +178,10 @@ func main() {
 		return nil
 	})
 	run("bench", func() error {
+		var recs []experiments.BenchRecord
 		if *jsonOut == "" {
-			recs, err := cfg.BenchAll()
+			var err error
+			recs, err = cfg.BenchAll()
 			if err != nil {
 				return err
 			}
@@ -184,14 +189,38 @@ func main() {
 				fmt.Printf("bench %-8s %-12s %8.1f ms  peak %10d B  %8d itemsets\n",
 					r.Dataset, r.Algo, r.WallMillis, r.PeakBytes, r.Itemsets)
 			}
+		} else {
+			paths, err := cfg.WriteBenchJSON(*jsonOut)
+			if err != nil {
+				return err
+			}
+			for _, p := range paths {
+				r, err := experiments.ValidateBenchJSON(p)
+				if err != nil {
+					return err
+				}
+				recs = append(recs, r)
+				fmt.Printf("wrote %s\n", p)
+			}
+		}
+		if *baseline == "" {
 			return nil
 		}
-		paths, err := cfg.WriteBenchJSON(*jsonOut)
-		if err != nil {
-			return err
-		}
-		for _, p := range paths {
-			fmt.Printf("wrote %s\n", p)
+		// Regression gate: every fresh record must hold the line
+		// against its committed counterpart.
+		for _, r := range recs {
+			base, err := experiments.ValidateBenchJSON(
+				filepath.Join(*baseline, fmt.Sprintf("BENCH_%s.json", r.Dataset)))
+			if err != nil {
+				return err
+			}
+			if err := experiments.CompareBenchRecords(r, base); err != nil {
+				return err
+			}
+			fm := r.Phases["mine"]
+			bm := base.Phases["mine"]
+			fmt.Printf("bench %-8s ok vs baseline: mine %.1f ms (baseline %.1f ms), %d itemsets\n",
+				r.Dataset, fm.Millis, bm.Millis, r.Itemsets)
 		}
 		return nil
 	})

@@ -139,6 +139,23 @@ func (a *Arena) Byte(off uint64) byte { return a.buf[off] }
 // Alloc/Realloc.
 func (a *Arena) Tail(off uint64) []byte { return a.buf[off:a.next] }
 
+// Reserve grows the backing region so that at least n bytes can be
+// carved out (beyond what is already in use) without further
+// reallocation. Callers that know a structure's size upper bound ahead
+// of building it — e.g. a conditional CFP-tree bounded by its decoded
+// pattern-base length — presize the arena once instead of paying the
+// grow-and-copy ramp; the capacity is retained across Reset, so a
+// recycled arena stays presized for its next tenant.
+func (a *Arena) Reserve(n uint64) {
+	need := a.next + n
+	if need > encoding.MaxPtr40+1 {
+		need = encoding.MaxPtr40 + 1
+	}
+	if need > uint64(len(a.buf)) {
+		a.grow(need)
+	}
+}
+
 // Extent returns the position of the next-free pointer: the total
 // number of bytes ever carved out of the region (including chunks
 // currently on free queues). This is the paper's notion of the memory

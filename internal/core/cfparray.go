@@ -156,11 +156,11 @@ func (a *Array) decode(rk uint32, local uint64, b []byte) (Element, int) {
 // SupportOf returns the exact support of the itemset given as strictly
 // increasing item ranks — the paper's §2.1 point query ("add up the
 // counts of the prefixes that contain I and end with the least
-// frequent item in I"), executed on the CFP-array: scan the last
-// item's subarray sideways and, per element, walk the ancestor path
-// backward checking that it covers the rest of the set. Cost is
-// O(nodes of the least frequent item × path length); no mining run is
-// needed.
+// frequent item in I"), executed on the CFP-array: batch-decode the
+// last item's subarray and, per element, walk the ancestor path
+// backward checking that it covers the rest of the set, bailing on the
+// first rank the path has overshot. Cost is O(nodes of the least
+// frequent item × path length); no mining run is needed.
 //
 //cfplint:hot
 func (a *Array) SupportOf(ranks []uint32) uint64 {
@@ -171,11 +171,24 @@ func (a *Array) SupportOf(ranks []uint32) uint64 {
 	if int(last) >= a.NumItems() {
 		return 0
 	}
+	// Length guard: ranks are strictly increasing along any tree path,
+	// so a path ending at rank r holds at most r ancestors — an
+	// itemset with more than last+1 members is coverable by no path,
+	// and the subarray scan can be skipped outright.
+	if len(ranks) > int(last)+1 {
+		return 0
+	}
 	rest := ranks[:len(ranks)-1]
 	var sup uint64
-	a.ScanItem(last, func(e Element) bool {
+	// One sequential sweep decodes the whole run; the per-element
+	// ancestor walks below then run without re-entering the varint
+	// decoder per field.
+	for _, e := range a.AppendRun(last, nil) {
 		// Ancestor ranks arrive strictly decreasing; rest is strictly
-		// increasing, so match it from the back.
+		// increasing, so match it from the back. The walk stops at the
+		// first mismatch that can no longer be repaired: once the path
+		// descends below the rank it needs next (ranks only decrease),
+		// the subset check has failed for this element.
 		need := len(rest) - 1
 		rk, local, delta, dpos := e.Rank, e.Local, e.Delta, e.Dpos
 		for need >= 0 && int64(rk)-int64(delta) >= 0 {
@@ -194,8 +207,7 @@ func (a *Array) SupportOf(ranks []uint32) uint64 {
 		if need < 0 {
 			sup += e.Count
 		}
-		return true
-	})
+	}
 	return sup
 }
 

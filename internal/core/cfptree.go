@@ -17,6 +17,14 @@ type Config struct {
 	DisableChains bool
 	// DisableEmbed never embeds leaves into parent slots.
 	DisableEmbed bool
+	// DisableFlatDecode makes the mine phase assemble conditional
+	// pattern bases by byte-at-a-time backward traversal of the
+	// CFP-array (ScanItem/PathTo) instead of batch-decoding each array
+	// into a flat element buffer first. The flat decoding is pure
+	// mine-phase scratch, so this switches speed for memory without
+	// changing any output; it exists for ablation benchmarks and as
+	// the differential-testing reference.
+	DisableFlatDecode bool
 }
 
 func (c Config) maxChain() int {

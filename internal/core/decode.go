@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math"
+
+	"cfpgrowth/internal/encoding"
+)
+
+// This file implements batch decoding of CFP-array triple runs. The
+// mining recursion walks ancestor paths constantly (two passes per
+// conditional pattern base), and the byte-at-a-time ScanItem/PathTo
+// traversal re-decodes the same parent triples once per descendant per
+// pass — profiling shows the varint decoder dominating the whole mine
+// phase. Batch decoding expands every per-item triple run into a flat
+// array exactly once per CFP-array, in one sequential varint sweep per
+// subarray, and resolves parent positions to element indexes; after
+// that, a path walk is an index chase through a dense array instead of
+// a varint chase through the byte region. This is the flat-array
+// mining layout of Grahne–Zhu's FPgrowth*, grafted onto the paper's
+// compressed array: the array stays the compact, serializable artifact
+// and the decode is transient scratch, charged to the run's modeled
+// memory while it is live.
+//
+// The chase array's byte size is the whole game: ancestor walks are
+// random accesses, so every extra byte per element is paid in cache
+// and TLB misses on every step (a naive 16-byte struct layout walked
+// ~5x slower than the packed form on the quest benchmarks — slower
+// even than re-decoding varints from the ~4x-smaller byte region).
+// Each element therefore packs its two walk fields into one machine
+// word — parent index and item rank — and the supports, which only the
+// owning run reads and always sequentially, live in a separate array
+// that the walk never touches.
+
+// smallRoot and wideRoot are the packed parent-index sentinels marking
+// an element that hangs off the virtual root, one per walk layout.
+const (
+	smallRoot = 1<<24 - 1
+	wideRoot  = 1<<32 - 1
+)
+
+// Decode is a reusable flat decoding of one CFP-array: all triple runs
+// expanded into dense arrays, in storage order (subarrays ascending by
+// rank, elements in subarray order, so parents always precede
+// children). The zero value is ready; From fills it, reusing the
+// buffers of any previous decoding.
+//
+// Ownership rules (DESIGN.md §5d): a Decode is written only by From
+// and is immutable until the next From; concurrent readers (parallel
+// mine workers sharing the top-level decode) are safe. Each recursion
+// level of the miner owns a private Decode from a per-grower free
+// list, so a level's buffer is never touched by its subproblems.
+type Decode struct {
+	// wide selects the walk layout. Small (the common case): walk[i] =
+	// parent<<8 | rank, 4 bytes per element, for arrays under 2^24-1
+	// elements over at most 256 items. Wide: walkW[i] = parent<<32 |
+	// rank, 8 bytes per element, for anything larger (up to the 2^31-1
+	// flat index space).
+	wide  bool
+	walk  []uint32
+	walkW []uint64
+	// sup[i] is element i's support (full FP-tree count). Only run
+	// [lo,hi) owners read it, sequentially; it is deliberately outside
+	// the walk words so ancestor chases never drag it through cache.
+	sup []uint32
+	// start[rk] is the index of rank rk's first element; len
+	// NumItems+1, mirroring Array.starts.
+	start []int32
+	// offs[i] is element i's local byte offset within its subarray,
+	// strictly increasing per rank segment; used only during From to
+	// resolve parent (rank, local) pairs to indexes by binary search.
+	offs []uint32
+}
+
+// NumElems returns the number of decoded elements.
+func (d *Decode) NumElems() int { return len(d.sup) }
+
+// Run returns the element index range [lo, hi) of rank rk's subarray.
+func (d *Decode) Run(rk uint32) (lo, hi int32) {
+	return d.start[rk], d.start[rk+1]
+}
+
+// Bytes returns the modeled footprint of the decoding: the walk words
+// plus the support and offset arrays, and the start table. Charged
+// against the run's memory ledger while the decode is live.
+func (d *Decode) Bytes() int64 {
+	per := int64(12) // walk 4 + sup 4 + offs 4
+	if d.wide {
+		per = 16
+	}
+	return int64(d.NumElems())*per + int64(len(d.start))*4
+}
+
+// From fills d with the flat decoding of a, reusing d's buffers. It
+// reports false — leaving d unusable — when the array exceeds the flat
+// index space (more than 2^31-1 elements, a subarray past 4 GiB of
+// triple bytes, or an element count past 32 bits); callers fall back
+// to the byte-chasing traversal. Triples are validated at their trust
+// boundaries (Convert, ReadArray), so the sweep runs unchecked like
+// Array.decode; debugchecks builds re-assert the invariants.
+//
+//cfplint:hot
+func (d *Decode) From(a *Array) bool {
+	n := a.NumNodes()
+	numItems := a.NumItems()
+	if n > math.MaxInt32 || a.DataBytes() > math.MaxUint32 {
+		return false
+	}
+	d.wide = n >= smallRoot || numItems > 256
+	if cap(d.sup) < n {
+		d.sup = make([]uint32, n)
+		d.offs = make([]uint32, n)
+	}
+	d.sup = d.sup[:n]
+	d.offs = d.offs[:n]
+	if d.wide {
+		if cap(d.walkW) < n {
+			d.walkW = make([]uint64, n)
+		}
+		d.walkW = d.walkW[:n]
+		d.walk = d.walk[:0]
+	} else {
+		if cap(d.walk) < n {
+			d.walk = make([]uint32, n)
+		}
+		d.walk = d.walk[:n]
+		d.walkW = d.walkW[:0]
+	}
+	if cap(d.start) < numItems+1 {
+		d.start = make([]int32, numItems+1)
+	}
+	d.start = d.start[:numItems+1]
+	idx := int32(0)
+	for rk := 0; rk < numItems; rk++ {
+		d.start[rk] = idx
+		b := a.data[a.starts[rk]:a.starts[rk+1]]
+		pos := 0
+		for pos < len(b) {
+			delta, n1 := encoding.Uvarint(b[pos:])
+			if debugChecks {
+				assertf(n1 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+				assertf(delta >= 1, "core: zero Δitem at rank %d offset %d", rk, pos)
+			}
+			z, n2 := encoding.Uvarint(b[pos+n1:])
+			if debugChecks {
+				assertf(n2 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+			}
+			c, n3 := encoding.Uvarint(b[pos+n1+n2:])
+			if debugChecks {
+				assertf(n3 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+				assertf(c > 0, "core: zero count at rank %d offset %d", rk, pos)
+			}
+			if c > math.MaxUint32 {
+				return false
+			}
+			parent := int32(-1)
+			if delta <= uint64(rk) {
+				pr := uint32(rk) - uint32(delta)
+				plocal := uint32(int64(pos) - encoding.Unzigzag(z))
+				parent = d.find(pr, plocal)
+				if debugChecks {
+					assertf(parent >= 0, "core: unresolved parent (rank %d local %d) of rank %d offset %d", pr, plocal, rk, pos)
+				}
+			}
+			if d.wide {
+				p := uint64(wideRoot)
+				if parent >= 0 {
+					p = uint64(parent)
+				}
+				d.walkW[idx] = p<<32 | uint64(rk)
+			} else {
+				p := uint32(smallRoot)
+				if parent >= 0 {
+					p = uint32(parent)
+				}
+				d.walk[idx] = p<<8 | uint32(rk)
+			}
+			d.sup[idx] = uint32(c)
+			d.offs[idx] = uint32(pos)
+			idx++
+			pos += n1 + n2 + n3
+		}
+	}
+	d.start[numItems] = idx
+	return true
+}
+
+// find resolves a parent's (rank, local byte offset) pair to its
+// element index by binary search over the rank's offset segment; the
+// parent's subarray is always fully decoded before any child refers to
+// it (Δitem ≥ 1). Offsets are strictly increasing within a segment.
+//
+//cfplint:hot
+func (d *Decode) find(rk uint32, local uint32) int32 {
+	lo, hi := d.start[rk], d.start[rk+1]
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		if d.offs[mid] < local {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < d.start[rk+1] && d.offs[lo] == local {
+		return lo
+	}
+	return -1
+}
+
+// AppendRun batch-decodes rank rk's whole triple run into buf in one
+// sequential varint sweep and returns the extended slice. It yields
+// the same elements as ScanItem, without the per-element callback and
+// per-field decoder re-entry; point queries (SupportOf) that scan a
+// single subarray use it in place of a full Decode.
+//
+//cfplint:hot
+func (a *Array) AppendRun(rk uint32, buf []Element) []Element {
+	lo, hi := a.starts[rk], a.starts[rk+1]
+	if need := len(buf) + a.nodes[rk]; cap(buf) < need {
+		nb := make([]Element, len(buf), need)
+		copy(nb, buf)
+		buf = nb
+	}
+	b := a.data[lo:hi]
+	pos := 0
+	for pos < len(b) {
+		d, n1 := encoding.Uvarint(b[pos:])
+		if debugChecks {
+			assertf(n1 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+			assertf(d >= 1, "core: zero Δitem at rank %d offset %d", rk, pos)
+		}
+		z, n2 := encoding.Uvarint(b[pos+n1:])
+		if debugChecks {
+			assertf(n2 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+		}
+		c, n3 := encoding.Uvarint(b[pos+n1+n2:])
+		if debugChecks {
+			assertf(n3 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
+			assertf(c > 0, "core: zero count at rank %d offset %d", rk, pos)
+		}
+		buf = append(buf, Element{
+			Rank:  rk,
+			Local: uint64(pos),
+			Delta: uint32(d),
+			Dpos:  encoding.Unzigzag(z),
+			Count: c,
+		})
+		pos += n1 + n2 + n3
+	}
+	return buf
+}

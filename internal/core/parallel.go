@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
@@ -10,18 +9,29 @@ import (
 	"cfpgrowth/internal/obs"
 )
 
-// ParallelGrowth is CFP-growth with the mine phase parallelized across
-// the top-level items, the natural task decomposition of FP-growth's
-// divide and conquer (the paper's related-work class (4), §5). The
-// initial CFP-tree build and conversion stay single-threaded (the build
-// is I/O-bound per §4.1); afterwards each worker owns a private tree
-// arena and processes whole conditional subproblems, so workers share
-// only the read-only initial CFP-array and the (synchronized) sink.
+// ParallelGrowth is CFP-growth with the mine phase sharded across the
+// CFP-array's per-item partitions, the natural task decomposition of
+// FP-growth's divide and conquer (the paper's related-work class (4),
+// §5). The initial CFP-tree build and conversion stay single-threaded
+// (the build is I/O-bound per §4.1); the top-level items are then
+// partitioned into shards of deterministic, rank-sorted seeds, and a
+// work-stealing pool (mine.RunSharded) mines them: each worker owns a
+// private tree arena and decode stack and processes whole conditional
+// subproblems, stealing from other shards once its own is drained.
+// Workers share only the read-only initial CFP-array, its read-only
+// flat decoding, and the (synchronized) sink.
 type ParallelGrowth struct {
 	// Config tunes the CFP-tree compression features.
 	Config Config
 	// Workers is the number of mining goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Shards is the number of work-stealing partitions the top-level
+	// items are divided into (0 = one per worker). Shard seeds are
+	// assigned round-robin in descending rank order, so the
+	// shard-to-item mapping — and with it per-shard observability
+	// attribution — is a pure function of (n, Shards), never of
+	// scheduling or map iteration order.
+	Shards int
 	// Track observes modeled memory; it is synchronized internally.
 	Track mine.MemTracker
 	// MaxLen, when positive, prunes the search at that cardinality.
@@ -32,8 +42,10 @@ type ParallelGrowth struct {
 	// caller wiring one up.
 	Ctl *mine.Control
 	// Rec, when non-nil, records phase spans, structure counters, and
-	// modeled-byte gauges; a single recorder is shared by all workers
-	// (its counters and gauges are atomic).
+	// modeled-byte gauges. Byte gauges are fed directly by all workers
+	// (they are atomic); structure counters are accumulated in one
+	// private recorder per shard and merged in shard order after the
+	// pool drains, so counter attribution is deterministic.
 	Rec *obs.Recorder
 }
 
@@ -57,26 +69,6 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	if err := ctl.Err(); err != nil {
 		return err
 	}
-	sp := g.Rec.Start(obs.PhasePass1)
-	counts, err := dataset.CountItems(src)
-	sp.End()
-	if err != nil {
-		return err
-	}
-	if minSupport == 0 {
-		minSupport = 1
-	}
-	rec := dataset.NewRecoder(counts, minSupport)
-	n := rec.NumFrequent()
-	if n == 0 {
-		return nil
-	}
-	itemName := make([]uint32, n)
-	itemCount := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		itemName[i] = rec.Decode(uint32(i))
-		itemCount[i] = rec.Support(uint32(i))
-	}
 	// The caller's tracker needs a mutex under concurrent workers; the
 	// recorder is atomic and is teed in unsynchronized.
 	var track mine.MemTracker = mine.NullTracker{}
@@ -85,6 +77,30 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	}
 	if g.Rec != nil {
 		track = &mine.TeeTracker{A: track, B: g.Rec}
+	}
+	sp := g.Rec.Start(obs.PhasePass1)
+	counts, err := dataset.CountItems(src)
+	if err != nil {
+		sp.End()
+		return err
+	}
+	countBytes := counts.ModelBytes()
+	track.Alloc(countBytes)
+	sp.End()
+	if minSupport == 0 {
+		minSupport = 1
+	}
+	rec := dataset.NewRecoder(counts, minSupport)
+	n := rec.NumFrequent()
+	track.Free(countBytes)
+	if n == 0 {
+		return nil
+	}
+	itemName := make([]uint32, n)
+	itemCount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		itemName[i] = rec.Decode(uint32(i))
+		itemCount[i] = rec.Support(uint32(i))
 	}
 	buildArena := arena.New()
 	tree := NewTree(buildArena, g.Config, itemName, itemCount)
@@ -103,29 +119,26 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		}
 		return nil
 	})
-	sp.End()
 	if err != nil {
+		sp.End()
 		return err
 	}
-	if g.Rec != nil {
-		std, chains, embedded := tree.PhysNodes()
-		g.Rec.Add(obs.CtrStdNodes, int64(std))
-		g.Rec.Add(obs.CtrChainNodes, int64(chains))
-		g.Rec.Add(obs.CtrEmbeddedLeaves, int64(embedded))
-		g.Rec.Add(obs.CtrLogicalNodes, int64(tree.NumNodes()))
-	}
-	track.Alloc(tree.Extent())
+	foldTreeCounters(g.Rec, tree)
+	treeBytes := tree.Extent()
+	// Charged inside the span: pass2-build's bytes_delta is the
+	// initial CFP-tree footprint.
+	track.Alloc(treeBytes)
+	sp.End()
 	sp = g.Rec.Start(obs.PhaseConvert)
 	arr, err := ConvertCtl(tree, ctl)
-	sp.End()
+	buildArena.Reset()
+	track.Free(treeBytes)
 	if err != nil {
-		track.Free(tree.Extent())
+		sp.End()
 		return err
 	}
-	track.Free(tree.Extent())
-	buildArena.Reset()
 	track.Alloc(arr.Bytes())
-	defer track.Free(arr.Bytes())
+	sp.End()
 
 	workers := g.Workers
 	if workers <= 0 {
@@ -134,78 +147,83 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	if workers > n {
 		workers = n
 	}
+	numShards := g.Shards
+	if numShards <= 0 {
+		numShards = workers
+	}
+	if numShards > n {
+		numShards = n
+	}
+	// Deterministic shard seeds: ranks in descending order (least
+	// frequent items, with the deepest pattern bases, lead for load
+	// balance), dealt round-robin across the shards. The assignment
+	// never depends on map iteration or scheduling order.
+	shards := make([][]int, numShards)
+	per := (n + numShards - 1) / numShards
+	for s := range shards {
+		shards[s] = make([]int, 0, per)
+	}
+	for i := 0; i < n; i++ {
+		shards[i%numShards] = append(shards[i%numShards], n-1-i)
+	}
+	// One private recorder per shard: workers attribute structure
+	// counters to the shard that owns the item, not to the goroutine
+	// that happened to steal it, and the post-pool merge below runs in
+	// shard order — the run's counter attribution is reproducible.
+	var shardRecs []*obs.Recorder
+	if g.Rec != nil {
+		shardRecs = make([]*obs.Recorder, numShards)
+		for s := range shardRecs {
+			shardRecs[s] = obs.New(nil)
+		}
+	}
 	// The ControlSink sits inside the SyncSink, so the stopped check
 	// and the emission are atomic under the sink mutex: after the first
 	// failing emission stops the Control, no later emission from any
 	// worker can reach the caller's sink.
 	ssink := &mine.SyncSink{Inner: &mine.ControlSink{Inner: sink, Ctl: ctl}}
-	// Buffered and pre-filled so a worker that exits early can never
-	// leave a producer blocked. Least frequent items (deepest pattern
-	// bases) go first for load balance.
-	jobs := make(chan int, n)
-	for rk := n - 1; rk >= 0; rk-- {
-		jobs <- rk
+	growers := make([]*cfpGrower, workers)
+	for w := range growers {
+		growers[w] = &cfpGrower{
+			cfg:       g.Config,
+			minSup:    minSupport,
+			maxLen:    g.MaxLen,
+			sink:      ssink,
+			track:     track,
+			ctl:       ctl,
+			treeArena: arena.New(),
+		}
 	}
-	close(jobs)
 	// One mine span covers the whole worker pool: per-conditional
 	// spans would swamp the trace, and the pool's wall time is the
 	// phase the paper plots.
 	sp = g.Rec.Start(obs.PhaseMine)
-	defer sp.End()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := &cfpGrower{
-				cfg:       g.Config,
-				minSup:    minSupport,
-				maxLen:    g.MaxLen,
-				sink:      ssink,
-				track:     track,
-				ctl:       ctl,
-				rec:       g.Rec,
-				treeArena: arena.New(),
-			}
-			for rk := range jobs {
-				// A stopped run abandons the rest of the queue instead
-				// of draining it.
-				if ctl.Stopped() {
-					return
-				}
-				if err := m.mineTopItem(arr, uint32(rk)); err != nil {
-					// First Stop wins: if another worker already
-					// failed, its earlier error stays the run's cause.
-					ctl.Stop(err)
-					return
-				}
-			}
-		}()
+	// One shared flat decoding of the initial array serves every
+	// worker read-only; each worker decodes its own conditional
+	// arrays privately.
+	var topDec *Decode
+	if !g.Config.DisableFlatDecode {
+		topDec = new(Decode)
+		if topDec.From(arr) {
+			track.Alloc(topDec.Bytes())
+		} else {
+			topDec = nil
+		}
 	}
-	wg.Wait()
-	return ctl.Err()
-}
-
-// mineTopItem processes one top-level item: emit it and recurse into
-// its conditional subtree. Mirrors one iteration of mineArray's loop.
-func (m *cfpGrower) mineTopItem(a *Array, rank uint32) error {
-	if a.Nodes(rank) == 0 {
-		return nil
+	err = mine.RunSharded(workers, shards, ctl, func(worker, shard, rank int) error {
+		m := growers[worker]
+		if shardRecs != nil {
+			m.rec = shardRecs[shard]
+		}
+		return m.mineTopItem(arr, topDec, uint32(rank))
+	})
+	if topDec != nil {
+		track.Free(topDec.Bytes())
 	}
-	sup := a.Support(rank)
-	if sup < m.minSup {
-		return nil
+	track.Free(arr.Bytes())
+	sp.End()
+	for _, sr := range shardRecs {
+		g.Rec.Merge(sr)
 	}
-	prefix := []uint32{a.ItemName(rank)}
-	if err := m.emit(prefix, sup); err != nil {
-		return err
-	}
-	if rank == 0 || (m.maxLen > 0 && len(prefix) >= m.maxLen) {
-		return nil
-	}
-	cond := m.conditional(a, rank)
-	if cond == nil {
-		return nil
-	}
-	return m.mineTree(cond, prefix)
+	return err
 }

@@ -42,6 +42,12 @@ type Counts struct {
 	NumTx   uint64          // total number of transactions
 }
 
+// ModelBytes returns the modeled footprint of the first-pass count
+// table: one (item, count) entry of 12 bytes — a 4-byte identifier and
+// an 8-byte count — per distinct item, the same C-layout modeling used
+// for the CFP structures (mine.MemTracker's convention).
+func (c Counts) ModelBytes() int64 { return int64(len(c.Support)) * 12 }
+
 // CountItems performs the first pass over the database: it counts, for
 // each distinct item, the number of transactions that contain it.
 // Duplicate occurrences of an item within one transaction are counted

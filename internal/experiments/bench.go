@@ -179,6 +179,69 @@ func ValidateBenchJSON(path string) (BenchRecord, error) {
 	return r, nil
 }
 
+// BenchMineRegressionTolerance is the fractional mine-phase slowdown
+// CompareBenchRecords tolerates before declaring a regression.
+// Mine-phase wall time is the record's headline number (ROADMAP: the
+// mine phase dominates end-to-end wall), so it gets the hard gate;
+// the other phases are small and noisy enough that gating them would
+// only produce flakes.
+const BenchMineRegressionTolerance = 0.10
+
+// CompareBenchRecords checks a freshly generated record against a
+// committed baseline — the regression gate CI's bench-smoke job runs.
+// It fails on:
+//
+//   - mismatched run identity (dataset, algo) or incomparable
+//     parameters (scale, rel_support): the comparison would be
+//     meaningless, which should fail loudly rather than pass silently;
+//   - an itemset-count mismatch: the generator and miner are both
+//     deterministic for fixed parameters, so any difference is a
+//     correctness bug, not noise;
+//   - an all-zero bytes_delta across every fresh phase: the memory
+//     accounting has come unwired from the phase spans (the regression
+//     this gate was introduced for — records carried zero deltas while
+//     the gauges were charged outside any span);
+//   - a mine-phase wall time more than BenchMineRegressionTolerance
+//     above the baseline's.
+func CompareBenchRecords(fresh, baseline BenchRecord) error {
+	if fresh.Dataset != baseline.Dataset || fresh.Algo != baseline.Algo {
+		return fmt.Errorf("bench compare: record identity mismatch: fresh %s/%s vs baseline %s/%s",
+			fresh.Dataset, fresh.Algo, baseline.Dataset, baseline.Algo)
+	}
+	if fresh.Scale != baseline.Scale || fresh.RelSupport != baseline.RelSupport {
+		return fmt.Errorf("bench compare: incomparable runs: fresh scale %d ξ %v vs baseline scale %d ξ %v",
+			fresh.Scale, fresh.RelSupport, baseline.Scale, baseline.RelSupport)
+	}
+	if fresh.Itemsets != baseline.Itemsets {
+		return fmt.Errorf("bench compare: %s: %d itemsets, baseline %d — deterministic run diverged",
+			fresh.Dataset, fresh.Itemsets, baseline.Itemsets)
+	}
+	anyDelta := false
+	for _, p := range fresh.Phases {
+		if p.BytesDelta != 0 {
+			anyDelta = true
+			break
+		}
+	}
+	if !anyDelta {
+		return fmt.Errorf("bench compare: %s: every phase has bytes_delta 0 — memory accounting is unwired from the phase spans",
+			fresh.Dataset)
+	}
+	fm, ok := fresh.Phases[obs.PhaseMine]
+	if !ok {
+		return fmt.Errorf("bench compare: %s: fresh record has no mine phase", fresh.Dataset)
+	}
+	bm, ok := baseline.Phases[obs.PhaseMine]
+	if !ok {
+		return fmt.Errorf("bench compare: %s: baseline record has no mine phase", fresh.Dataset)
+	}
+	if limit := bm.Millis * (1 + BenchMineRegressionTolerance); fm.Millis > limit {
+		return fmt.Errorf("bench compare: %s: mine phase %.1f ms exceeds baseline %.1f ms by more than %.0f%%",
+			fresh.Dataset, fm.Millis, bm.Millis, 100*BenchMineRegressionTolerance)
+	}
+	return nil
+}
+
 // ValidateBenchRecord checks a record's internal consistency: schema
 // version, required fields, and that the recorded phase times sum to
 // no more than the total wall time (they nest inside it) while

@@ -89,6 +89,93 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 	}
 }
 
+// TestBenchRecordBytesDeltaWired is the regression test for the
+// accounting bug where every phase's bytes_delta was zero: the ledger
+// charges happened outside the phase spans, so records carried peak
+// memory but no per-phase attribution. Fresh records must charge the
+// build phases positive deltas and the mine phase a negative one (it
+// frees the CFP-array at the end).
+func TestBenchRecordBytesDeltaWired(t *testing.T) {
+	c := benchConfig()
+	r, err := c.BenchOne("quest1", c.Quest1(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{obs.PhasePass1, obs.PhaseBuild, obs.PhaseConvert} {
+		p, ok := r.Phases[phase]
+		if !ok {
+			t.Fatalf("phase %q missing", phase)
+		}
+		if p.BytesDelta <= 0 {
+			t.Errorf("phase %q bytes_delta = %d, want > 0", phase, p.BytesDelta)
+		}
+	}
+	if p := r.Phases[obs.PhaseMine]; p.BytesDelta >= 0 {
+		t.Errorf("mine bytes_delta = %d, want < 0 (frees the CFP-array)", p.BytesDelta)
+	}
+	// Every charge is balanced by a free (the ledger tests assert
+	// Cur == 0), but one free lands between spans: the count table is
+	// released in the recoder-setup glue after pass1 ends. The phase
+	// deltas therefore sum to exactly the pass1 charge — anything else
+	// means a charge has drifted out of its span.
+	var sum int64
+	for _, p := range r.Phases {
+		sum += p.BytesDelta
+	}
+	if want := r.Phases[obs.PhasePass1].BytesDelta; sum != want {
+		t.Errorf("phase bytes_delta sum = %d, want %d (the count table released between spans)", sum, want)
+	}
+}
+
+func TestCompareBenchRecords(t *testing.T) {
+	mk := func() BenchRecord {
+		return BenchRecord{
+			SchemaVersion: BenchSchemaVersion,
+			Dataset:       "quest1", Algo: "cfpgrowth",
+			Scale: 1000, RelSupport: 0.01,
+			Transactions: 10, AbsSupport: 2,
+			PeakBytes: 1, Itemsets: 42, WallMillis: 100,
+			Phases: map[string]BenchPhase{
+				obs.PhaseMine:  {Count: 1, Millis: 80, BytesDelta: -5},
+				obs.PhaseBuild: {Count: 1, Millis: 10, BytesDelta: 5},
+			},
+		}
+	}
+	base := mk()
+	if err := CompareBenchRecords(mk(), base); err != nil {
+		t.Fatalf("identical records rejected: %v", err)
+	}
+	// Inside tolerance: 10% exactly.
+	r := mk()
+	r.Phases[obs.PhaseMine] = BenchPhase{Count: 1, Millis: 88, BytesDelta: -5}
+	if err := CompareBenchRecords(r, base); err != nil {
+		t.Errorf("10%% slowdown rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name    string
+		mut     func(*BenchRecord)
+		wantErr string
+	}{
+		{"mine-regression", func(r *BenchRecord) {
+			r.Phases[obs.PhaseMine] = BenchPhase{Count: 1, Millis: 95, BytesDelta: -5}
+		}, "exceeds baseline"},
+		{"all-zero-bytes-delta", func(r *BenchRecord) {
+			r.Phases[obs.PhaseMine] = BenchPhase{Count: 1, Millis: 80}
+			r.Phases[obs.PhaseBuild] = BenchPhase{Count: 1, Millis: 10}
+		}, "bytes_delta 0"},
+		{"itemset-divergence", func(r *BenchRecord) { r.Itemsets = 41 }, "diverged"},
+		{"scale-mismatch", func(r *BenchRecord) { r.Scale = 500 }, "incomparable"},
+		{"identity-mismatch", func(r *BenchRecord) { r.Dataset = "quest2" }, "identity"},
+	} {
+		r := mk()
+		tc.mut(&r)
+		err := CompareBenchRecords(r, base)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
 func TestValidateBenchRecordPhaseSum(t *testing.T) {
 	r := BenchRecord{
 		SchemaVersion: BenchSchemaVersion,

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cfpgrowth/internal/algo"
+	"cfpgrowth/internal/core"
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/mine"
 	"cfpgrowth/internal/vm"
@@ -70,9 +71,25 @@ func (c Config) runFig8(panel, ds string, algos []string) (Fig8Result, error) {
 			if c.Ctl != nil {
 				t = &mine.BudgetTracker{Inner: t, Ctl: c.Ctl}
 			}
-			m, err := algo.New(name, t, c.Ctl)
-			if err != nil {
-				return Fig8Result{}, err
+			var m mine.Miner
+			if name == "cfpgrowth" {
+				// Fig 8 reproduces the paper's memory claims, so
+				// CFP-growth runs in the paper's configuration: the
+				// flat-decode accelerator postdates the paper's design
+				// and deliberately trades modeled memory for speed
+				// (its scratch is charged to the tracker), which is
+				// measured by the bench harness, not this figure.
+				m = core.Growth{
+					Config: core.Config{DisableFlatDecode: true},
+					Track:  t,
+					Ctl:    c.Ctl,
+				}
+			} else {
+				var err error
+				m, err = algo.New(name, t, c.Ctl)
+				if err != nil {
+					return Fig8Result{}, err
+				}
 			}
 			var sink mine.CountSink
 			t0 := time.Now()

@@ -1,0 +1,75 @@
+package mine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunSharded executes a sharded, work-stealing parallel run: jobs are
+// grouped into shards, each worker primarily drains the shard it owns
+// (worker w owns shard w mod len(shards)), and a worker whose own
+// shard is exhausted steals jobs from the other shards' cursors in
+// ring order, so no worker idles while any job remains. Within one
+// shard, jobs execute in slice order; the shard slices themselves must
+// already be in the caller's deterministic order (sorted seeds), which
+// makes job-to-shard attribution independent of scheduling.
+//
+// Error semantics match the parallel miners': the first failure
+// anywhere stops ctl, every worker observes the stop before taking its
+// next job, no worker drains remaining jobs after a stop, and the
+// returned error is always the first failure — even when several
+// workers fail concurrently. fn receives the executing worker's index
+// (for per-worker state such as arenas), the shard index (for
+// per-shard attribution such as observability recorders), and the job
+// value.
+func RunSharded(workers int, shards [][]int, ctl *Control, fn func(worker, shard, job int) error) error {
+	if ctl == nil {
+		// A private control still gives first-error-wins semantics.
+		ctl = &Control{}
+	}
+	numShards := len(shards)
+	if numShards == 0 {
+		return ctl.Err()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// One cursor per shard: owners and thieves draw from the same
+	// atomic counter, so a job is never executed twice and stealing
+	// needs no deques or locks.
+	cursors := make([]atomic.Int64, numShards)
+	drain := func(worker, shard int) bool {
+		jobs := shards[shard]
+		for {
+			if ctl.Stopped() {
+				return false
+			}
+			i := cursors[shard].Add(1) - 1
+			if i >= int64(len(jobs)) {
+				return true
+			}
+			if err := fn(worker, shard, jobs[i]); err != nil {
+				// First Stop wins: if another worker already failed,
+				// its earlier error stays the run's cause.
+				ctl.Stop(err)
+				return false
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := w % numShards
+			// Own shard first, then steal around the ring.
+			for i := 0; i < numShards; i++ {
+				if !drain(w, (own+i)%numShards) {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctl.Err()
+}

@@ -247,6 +247,49 @@ func (sp Span) End() {
 	}
 }
 
+// Merge folds src's counters, phase aggregates, and maximum observed
+// depth into r. Byte gauges are not merged: they are point-in-time
+// views of an allocation stream, not deltas, and parallel runs feed
+// one shared recorder's gauges directly. Sharded miners give each
+// shard a private Recorder for counter attribution and fold them into
+// the run recorder in shard order when the pool has drained, so the
+// merged totals are independent of worker scheduling. Merge tolerates
+// a nil receiver or source.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := src.counters[c].Load(); v != 0 {
+			r.counters[c].Add(v)
+		}
+	}
+	r.ObserveDepth(int(src.maxDepth.Load()))
+	// Copy out under src's lock, fold under r's: the locks are never
+	// held together, so merge direction cannot deadlock.
+	src.mu.Lock()
+	phases := make(map[string]PhaseStat, len(src.phases))
+	for k, v := range src.phases {
+		phases[k] = v
+	}
+	src.mu.Unlock()
+	if len(phases) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.phases == nil {
+		r.phases = make(map[string]PhaseStat, len(phases))
+	}
+	for k, v := range phases {
+		ps := r.phases[k]
+		ps.Count += v.Count
+		ps.Nanos += v.Nanos
+		ps.Bytes += v.Bytes
+		r.phases[k] = ps
+	}
+	r.mu.Unlock()
+}
+
 // Phases returns a copy of the per-phase aggregates.
 func (r *Recorder) Phases() map[string]PhaseStat {
 	if r == nil {

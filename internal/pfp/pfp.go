@@ -23,7 +23,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/core"
@@ -161,35 +160,24 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	if workers > 1 {
 		ssink = &mine.SyncSink{Inner: ssink}
 	}
-	jobs := make(chan int, groups)
+	// Singleton work-stealing shards: each group is its own partition,
+	// so worker w leads with group w and steals whole groups in ring
+	// order once its own is drained. RunSharded supplies the
+	// first-error-wins stop semantics the old channel pool had.
+	jobs := make([][]int, groups)
 	for g := 0; g < groups; g++ {
-		jobs <- g
+		jobs[g] = []int{g}
 	}
-	close(jobs)
+	arenas := make([]*arena.Arena, workers)
+	for w := range arenas {
+		arenas[w] = arena.New()
+	}
 	// One mine span covers the whole worker pool, as in ParallelGrowth.
 	sp = m.Rec.Start(obs.PhaseMine)
 	defer sp.End()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			a := arena.New()
-			for g := range jobs {
-				// A stopped run abandons the remaining shards.
-				if ctl.Stopped() {
-					return
-				}
-				if err := m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, a, ctl); err != nil {
-					// First Stop wins even when several shards fail.
-					ctl.Stop(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return ctl.Err()
+	return mine.RunSharded(workers, jobs, ctl, func(worker, _, g int) error {
+		return m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, arenas[worker], ctl)
+	})
 }
 
 // mineShard reads one shard file, builds its CFP structures, and mines
