@@ -13,9 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (internal/analysis, driven by cmd/cfplint):
-# ptr40safe, sinkguard, obsguard, lockorder, errsentinel, varintbounds,
-# atomicfield, allochot. Suppress a finding with
-# `//cfplint:ignore <analyzer> <reason>` on or above the line.
+# ptr40safe, ledgerbalance, goroutinesafe, poolreturn, sharedro,
+# sinkguard, obsguard, lockorder, errsentinel, varintbounds,
+# atomicfield, allochot — preceded by a summary phase that publishes
+# per-function Effects facts in package dependency order. Suppress a
+# finding with `//cfplint:ignore <analyzer> <reason>` on or above the
+# line.
 lint:
 	$(GO) run ./cmd/cfplint ./...
 

@@ -2,21 +2,28 @@
 // multichecker over the analyzers in internal/analysis/... that guard
 // the byte-level invariants of the CFP-tree/CFP-array layouts
 // (ptr40safe, varintbounds), the no-emission-after-stop concurrency
-// invariant (sinkguard), span hygiene (obsguard), sentinel-error
+// invariant (sinkguard), memory-ledger balance (ledgerbalance),
+// pool-object return discipline (poolreturn), goroutine join
+// discipline (goroutinesafe), shared-state read-only discipline in
+// sharded workers (sharedro), span hygiene (obsguard), sentinel-error
 // hygiene (errsentinel), atomic-field discipline (atomicfield),
 // lock-order discipline (lockorder), and hot-path allocation
-// discipline (allochot).
+// discipline (allochot). A reporting-free summary phase runs first,
+// publishing per-function Effects facts the interprocedural analyzers
+// consume.
 //
 // Usage:
 //
 //	go run ./cmd/cfplint [-tests] [-list] [-json file] [packages...]
 //
 // With no arguments it checks ./... . Findings print as
-// file:line:col: message [analyzer]; -json additionally writes them as
-// a JSON array to the given file (the CI artifact). The exit status is
-// 1 when any finding survives, 2 when loading fails or the patterns
-// match no packages — an empty match is a misconfiguration, not a
-// clean run. Individual sites are suppressed with an audited directive
+// file:line:col: message [analyzer]; -json additionally writes the CI
+// artifact to the given file: an object {"findings": [...],
+// "timings_ms": {...}} with per-analyzer wall time summed across
+// packages. The exit status is 1 when any finding survives, 2 when
+// loading fails, the patterns match no packages, or the artifact
+// cannot be written — an empty match or a lost artifact is a
+// misconfiguration, not a clean run. Individual sites are suppressed with an audited directive
 // on the flagged line or the line above:
 //
 //	//cfplint:ignore <analyzer> <reason>
@@ -43,15 +50,21 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/allochot"
 	"cfpgrowth/internal/analysis/atomicfield"
 	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/goroutinesafe"
+	"cfpgrowth/internal/analysis/ledgerbalance"
 	"cfpgrowth/internal/analysis/lockorder"
 	"cfpgrowth/internal/analysis/obsguard"
+	"cfpgrowth/internal/analysis/poolreturn"
 	"cfpgrowth/internal/analysis/ptr40safe"
+	"cfpgrowth/internal/analysis/sharedro"
 	"cfpgrowth/internal/analysis/sinkguard"
+	"cfpgrowth/internal/analysis/summary"
 	"cfpgrowth/internal/analysis/varintbounds"
 )
 
@@ -76,9 +89,36 @@ func anyPrefix(prefixes ...string) func(string) bool {
 }
 
 var suite = []scoped{
+	// The summary phase runs first and everywhere: it reports nothing
+	// but publishes the Effects facts every interprocedural analyzer
+	// consumes, and packages are visited in dependency order, so a
+	// callee's summary always exists before its callers are analyzed.
+	{summary.Analyzer, everywhere},
 	{ptr40safe.Analyzer, func(path string) bool {
 		return path != "cfpgrowth/internal/encoding"
 	}},
+	{ledgerbalance.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/algo",
+	)},
+	{goroutinesafe.Analyzer, anyPrefix(
+		"cfpgrowth/internal/mine",
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/obs",
+	)},
+	{poolreturn.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/algo",
+	)},
+	{sharedro.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+	)},
 	{sinkguard.Analyzer, anyPrefix(
 		"cfpgrowth/internal/core",
 		"cfpgrowth/internal/pfp",
@@ -111,6 +151,14 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// jsonReport is the -json artifact: the findings plus the
+// per-analyzer wall-time breakdown (milliseconds, summed over all
+// analyzed packages) so CI can watch for analyzers whose cost drifts.
+type jsonReport struct {
+	Findings  []jsonFinding      `json:"findings"`
+	TimingsMS map[string]float64 `json:"timings_ms"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -123,7 +171,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
-	jsonOut := fs.String("json", "", "also write findings as a JSON array to this `file`")
+	jsonOut := fs.String("json", "", "also write findings and per-analyzer timings as JSON to this `file`")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -153,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// analyzer looking at a package sees the facts of everything that
 	// package imports.
 	var all []analysis.Finding
+	timings := map[string]time.Duration{}
 	store := analysis.NewFactStore()
 	for _, pkg := range topoOrder(pkgs) {
 		var active []*analysis.Analyzer
@@ -164,12 +213,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(active) == 0 {
 			continue
 		}
-		findings, err := analysis.RunWithFacts(pkg, active, store)
+		findings, pkgTimings, err := analysis.RunWithFactsTimed(pkg, active, store)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		all = append(all, findings...)
+		for name, d := range pkgTimings {
+			timings[name] += d
+		}
 	}
 
 	wd, _ := os.Getwd()
@@ -194,11 +246,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if jfs == nil {
 			jfs = []jsonFinding{} // an empty run serializes as [], not null
 		}
-		data, err := json.MarshalIndent(jfs, "", "  ")
+		report := jsonReport{Findings: jfs, TimingsMS: map[string]float64{}}
+		for name, d := range timings {
+			report.TimingsMS[name] = float64(d.Microseconds()) / 1000
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+		// An unwritable artifact path is a misconfiguration, not a clean
+		// run: CI consumes the artifact, so failing to produce it must
+		// fail the step even when the tree has no findings.
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2

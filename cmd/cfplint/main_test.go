@@ -44,7 +44,8 @@ func TestList(t *testing.T) {
 		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
 	}
 	for _, name := range []string{
-		"ptr40safe", "sinkguard", "obsguard", "lockorder",
+		"summary", "ptr40safe", "ledgerbalance", "goroutinesafe",
+		"poolreturn", "sharedro", "sinkguard", "obsguard", "lockorder",
 		"errsentinel", "varintbounds", "atomicfield", "allochot",
 	} {
 		if !strings.Contains(stdout.String(), name) {
@@ -70,22 +71,29 @@ func TestFindingsAndJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var jfs []jsonFinding
-	if err := json.Unmarshal(data, &jfs); err != nil {
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
 		t.Fatalf("artifact does not parse: %v\n%s", err, data)
 	}
-	if len(jfs) == 0 {
-		t.Fatal("artifact is empty, want the errsentinel finding")
+	if len(report.Findings) == 0 {
+		t.Fatal("artifact has no findings, want the errsentinel finding")
 	}
-	f := jfs[0]
+	f := report.Findings[0]
 	if f.Analyzer != "errsentinel" || f.Line == 0 || !strings.Contains(f.Message, "errors.Is") {
 		t.Errorf("unexpected finding in artifact: %+v", f)
 	}
+	if len(report.TimingsMS) == 0 {
+		t.Error("artifact has no timings_ms, want per-analyzer wall time")
+	}
+	if _, ok := report.TimingsMS["errsentinel"]; !ok {
+		t.Errorf("timings_ms missing errsentinel: %v", report.TimingsMS)
+	}
 }
 
-// TestCleanJSONIsEmptyArray: a clean run with -json writes [] so
-// downstream consumers can always parse the artifact.
-func TestCleanJSONIsEmptyArray(t *testing.T) {
+// TestCleanJSONHasEmptyFindings: a clean run with -json still writes a
+// parseable artifact whose findings field is [] (not null), so
+// downstream consumers never special-case the clean case.
+func TestCleanJSONHasEmptyFindings(t *testing.T) {
 	artifact := filepath.Join(t.TempDir(), "findings.json")
 	var stdout, stderr bytes.Buffer
 	code := run([]string{"-json", artifact, "../../internal/encoding"}, &stdout, &stderr)
@@ -96,7 +104,34 @@ func TestCleanJSONIsEmptyArray(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := strings.TrimSpace(string(data)); got != "[]" {
-		t.Errorf("artifact = %q, want []", got)
+	if !strings.Contains(string(data), `"findings": []`) {
+		t.Errorf("artifact = %s, want an explicit empty findings array", data)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact does not parse: %v\n%s", err, data)
+	}
+	if report.Findings == nil || len(report.Findings) != 0 {
+		t.Errorf("findings = %v, want empty non-nil slice", report.Findings)
+	}
+	if len(report.TimingsMS) == 0 {
+		t.Error("artifact has no timings_ms, want per-analyzer wall time")
+	}
+}
+
+// TestUnwritableArtifactExits2 is the regression test for the
+// lost-artifact bug: when -json points into a directory that does not
+// exist, the run must exit 2 even though the analyzed tree is clean —
+// CI consumes the artifact, so silently not producing it would turn a
+// broken pipeline step into a green check.
+func TestUnwritableArtifactExits2(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "no", "such", "dir", "out.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", artifact, "../../internal/encoding"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() == 0 {
+		t.Error("expected the write error on stderr")
 	}
 }

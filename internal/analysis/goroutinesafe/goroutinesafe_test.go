@@ -1,0 +1,12 @@
+package goroutinesafe_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/goroutinesafe"
+)
+
+func TestGoroutines(t *testing.T) {
+	analysis.RunFixture(t, goroutinesafe.Analyzer, "testdata/gosafe")
+}

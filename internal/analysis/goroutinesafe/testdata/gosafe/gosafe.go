@@ -1,0 +1,161 @@
+// Fixture for the goroutinesafe analyzer: wg.Add must dominate the
+// spawn, Done must run on every return path, and naked goroutines
+// need a channel join.
+package fixture
+
+import "sync"
+
+func work()      {}
+func helper()    {}
+func cond() bool { return false }
+
+func properPool(workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func addOnSomePaths(b bool) {
+	var wg sync.WaitGroup
+	if b {
+		wg.Add(1)
+	}
+	go func() { // want `^wg\.Add does not execute on every path before this go statement, but the goroutine calls wg\.Done; Wait can return while the goroutine still runs — call Add before spawning$`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func addAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() { // want `^wg\.Add does not execute on every path before this go statement, but the goroutine calls wg\.Done; Wait can return while the goroutine still runs — call Add before spawning$`
+		defer wg.Done()
+		work()
+	}()
+	wg.Add(1)
+	wg.Wait()
+}
+
+func doneOnSomePaths() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `^the goroutine calls wg\.Done on some return paths only, so wg\.Wait deadlocks when the other paths run; defer the Done$`
+		if cond() {
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func doneExplicitAllPaths() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if cond() {
+			wg.Done()
+			return
+		}
+		work()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func doneDeferredClosure() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer func() { wg.Done() }()
+		if cond() {
+			return
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+type owner struct{ wg sync.WaitGroup }
+
+func (o *owner) fieldGroup() {
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		work()
+	}()
+	o.wg.Wait()
+}
+
+func spentGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+	go func() { // want `^wg\.Add does not execute on every path before this go statement, but the goroutine calls wg\.Done; Wait can return while the goroutine still runs — call Add before spawning$`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByClose() func() {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-quit
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+func joinedBySend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+func joinedByRange() int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+func detachedLiteral() {
+	go func() { // want `^goroutine is neither joined by a WaitGroup nor signals a channel its spawner receives; a detached goroutine can outlive the run — join it or audit with //cfplint:ignore goroutinesafe$`
+		work()
+	}()
+}
+
+func detachedNamed() {
+	go helper() // want `^goroutine spawned by calling helper is not joined here \(no WaitGroup, no channel received by this function\); join it or audit the detachment with //cfplint:ignore goroutinesafe$`
+}
+
+func auditedDetach() {
+	//cfplint:ignore goroutinesafe fixture: deliberately detached background loop
+	go func() {
+		work()
+	}()
+}

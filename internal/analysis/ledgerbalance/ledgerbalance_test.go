@@ -1,0 +1,12 @@
+package ledgerbalance_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/ledgerbalance"
+)
+
+func TestLedger(t *testing.T) {
+	analysis.RunFixture(t, ledgerbalance.Analyzer, "testdata/ledger")
+}

@@ -32,14 +32,19 @@ import (
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/cfg"
 	"cfpgrowth/internal/analysis/dataflow"
+	"cfpgrowth/internal/analysis/summary"
 )
 
 // Analyzer is the lockorder rule.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: `requires a globally consistent mutex acquisition order and no
-channel send or sink Emit/Record call while a mutex is held`,
-	Run: run,
+channel send or sink emission — a direct interface Emit/Record call,
+or a call to a helper whose summary says it emits — while a mutex is
+held`,
+	Requires:  []*analysis.Analyzer{summary.Analyzer},
+	FactTypes: []analysis.Fact{new(summary.Effects)},
+	Run:       run,
 }
 
 // heldSet maps each held lock to the position where it was acquired.
@@ -160,17 +165,19 @@ type orderEdge struct {
 }
 
 type runState struct {
-	prob  *lockProblem
-	edges []orderEdge
-	adj   map[types.Object]map[types.Object]bool
-	names map[types.Object]string
+	prob   *lockProblem
+	lookup summary.Lookup
+	edges  []orderEdge
+	adj    map[types.Object]map[types.Object]bool
+	names  map[types.Object]string
 }
 
 func run(pass *analysis.Pass) error {
 	st := &runState{
-		prob:  &lockProblem{pass: pass},
-		adj:   map[types.Object]map[types.Object]bool{},
-		names: map[types.Object]string{},
+		prob:   &lockProblem{pass: pass},
+		lookup: summary.Lookuper(pass),
+		adj:    map[types.Object]map[types.Object]bool{},
+		names:  map[types.Object]string{},
 	}
 	for _, fd := range pass.FuncDecls() {
 		st.checkBody(pass, fd.Body)
@@ -237,6 +244,22 @@ func (st *runState) visit(pass *analysis.Pass, n ast.Node, before heldSet) {
 					pass.Reportf(m.Pos(),
 						"%s called while holding %s: the sink may block or take locks of its own; release %s before emitting",
 						fn, st.names[obj], st.names[obj])
+				}
+				return true
+			}
+			// A helper that emits somewhere below it (per its summary) is
+			// as dangerous under a lock as the Emit itself: the
+			// caller-supplied sink it reaches may block with our mutex
+			// held.
+			if len(s) > 0 {
+				if fn := analysis.Callee(pass.TypesInfo, m); fn != nil {
+					if eff := st.lookup(fn); eff != nil && eff.EmitsSink {
+						for obj := range s {
+							pass.Reportf(m.Pos(),
+								"call to %s, which emits to a caller-supplied sink (per its summary), while holding %s; the sink may block — release %s before calling",
+								fn.Name(), st.names[obj], st.names[obj])
+						}
+					}
 				}
 			}
 		}

@@ -162,3 +162,25 @@ func (s *server) goroutineStartsFresh(v int) {
 	}()
 	s.mu.Unlock()
 }
+
+// flush hides the emission inside a helper; its summary carries
+// EmitsSink.
+func (s *server) flush(items []uint32) error {
+	return s.sink.Emit(items, 1)
+}
+
+// flushUnderLock reaches the sink with mu held, two calls deep — only
+// the summary sees it.
+func (s *server) flushUnderLock(items []uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flush(items) // want `call to flush, which emits to a caller-supplied sink \(per its summary\), while holding s\.mu`
+}
+
+// flushAfterUnlock releases before delegating to the emitting helper.
+func (s *server) flushAfterUnlock(items []uint32) error {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	return s.flush(items)
+}

@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/poolreturn"
+)
+
+func TestPool(t *testing.T) {
+	analysis.RunFixture(t, poolreturn.Analyzer, "testdata/pool")
+}

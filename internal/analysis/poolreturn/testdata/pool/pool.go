@@ -1,0 +1,157 @@
+// Fixture for the poolreturn analyzer: pooled values must go back to
+// their pool on every path unless ownership is transferred.
+package fixture
+
+import "sync"
+
+type buf struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(buf) }}
+
+type mgr struct {
+	free *buf
+	keep *buf
+}
+
+func (m *mgr) acquireBuf() *buf {
+	if m.free != nil {
+		b := m.free
+		m.free = nil
+		return b
+	}
+	return new(buf)
+}
+
+func (m *mgr) releaseBuf(b *buf) { m.free = b }
+
+// grab hands out a pooled value: callers inherit the obligation via
+// the GetsPooled summary.
+func grab() *buf {
+	v := bufPool.Get().(*buf)
+	return v
+}
+
+// stash returns its parameter to the pool: callers discharge through
+// the PutsParams summary.
+func stash(v *buf) { bufPool.Put(v) }
+
+func leakOnErr(fail bool) error {
+	v := bufPool.Get().(*buf) // want `^pooled value v obtained here is not returned to its pool on every return path \(an early return or error exit skips the release\); release it on each path or defer the release$`
+	if fail {
+		return errFail
+	}
+	bufPool.Put(v)
+	return nil
+}
+
+func neverReleased() {
+	v := bufPool.Get().(*buf) // want `^pooled value v obtained here is never returned to its pool in this function; release it or transfer ownership$`
+	sink(v.b)
+}
+
+func balancedDefer(fail bool) error {
+	v := bufPool.Get().(*buf)
+	defer bufPool.Put(v)
+	if fail {
+		return errFail
+	}
+	sink(v.b)
+	return nil
+}
+
+func balancedExplicit(fail bool) error {
+	v := bufPool.Get().(*buf)
+	if fail {
+		bufPool.Put(v)
+		return errFail
+	}
+	bufPool.Put(v)
+	return nil
+}
+
+func acquireLeak(m *mgr, fail bool) error {
+	b := m.acquireBuf() // want `^pooled value b obtained here is not returned to its pool on every return path \(an early return or error exit skips the release\); release it on each path or defer the release$`
+	if fail {
+		return errFail
+	}
+	m.releaseBuf(b)
+	return nil
+}
+
+func acquireDefer(m *mgr, fail bool) error {
+	b := m.acquireBuf()
+	defer m.releaseBuf(b)
+	if fail {
+		return errFail
+	}
+	sink(b.b)
+	return nil
+}
+
+// crossLeak leaks a value obtained through grab: only the GetsPooled
+// summary says the call hands out a pooled value.
+func crossLeak(fail bool) error {
+	v := grab() // want `^pooled value v obtained here is not returned to its pool on every return path \(an early return or error exit skips the release\); release it on each path or defer the release$`
+	if fail {
+		return errFail
+	}
+	bufPool.Put(v)
+	return nil
+}
+
+// crossBalanced discharges through stash's PutsParams summary.
+func crossBalanced(fail bool) error {
+	v := grab()
+	if fail {
+		stash(v)
+		return errFail
+	}
+	stash(v)
+	return nil
+}
+
+// crossDefer discharges through a deferred summary-mediated release.
+func crossDefer(fail bool) error {
+	v := grab()
+	defer stash(v)
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// returned transfers ownership out: the caller owns the release.
+func returned() *buf {
+	v := bufPool.Get().(*buf)
+	return v
+}
+
+// stored transfers ownership into the structure.
+func stored(m *mgr) {
+	v := bufPool.Get().(*buf)
+	m.keep = v
+}
+
+// inLiteral transfers ownership to the closure that captures it.
+func inLiteral() func() {
+	v := bufPool.Get().(*buf)
+	return func() { bufPool.Put(v) }
+}
+
+// deferredClosure releases inside a deferred literal.
+func deferredClosure(fail bool) error {
+	v := bufPool.Get().(*buf)
+	defer func() { bufPool.Put(v) }()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+var errFail = sentinel("fail")
+
+type sentinel string
+
+func (s sentinel) Error() string { return string(s) }
+
+func sink([]byte) {}

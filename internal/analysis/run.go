@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one resolved diagnostic: a position, the analyzer that
@@ -58,12 +59,23 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 // transitive Requires closure and topologically sorted so producers
 // run before consumers.
 func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Finding, error) {
+	findings, _, err := RunWithFactsTimed(pkg, analyzers, facts)
+	return findings, err
+}
+
+// RunWithFactsTimed is RunWithFacts reporting, additionally, how much
+// wall time each analyzer's Run spent on this package (keyed by
+// analyzer name, Requires-expanded entries included). Drivers
+// accumulate these across packages into the per-analyzer timing
+// breakdown of the -json artifact.
+func RunWithFactsTimed(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Finding, map[string]time.Duration, error) {
 	analyzers, err := expand(analyzers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dirs := collectDirectives(pkg)
 	var findings []Finding
+	timings := make(map[string]time.Duration, len(analyzers))
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -84,8 +96,11 @@ func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Find
 			}
 			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		start := time.Now()
+		err := a.Run(pass)
+		timings[name] += time.Since(start)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
 	}
 	known := make(map[string]bool, len(analyzers))
@@ -118,7 +133,7 @@ func RunWithFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Find
 		}
 		return a.Column < b.Column
 	})
-	return findings, nil
+	return findings, timings, nil
 }
 
 // expand returns the transitive Requires closure of analyzers in

@@ -1,0 +1,223 @@
+// Package sharedro guards the read-only contract of the data shared
+// across mine.RunSharded workers. The sharded mine path is only
+// race-free because workers share nothing mutable: the initial
+// CFP-array and its flat decoding are built once before the pool
+// starts and then only read; everything a worker mutates is its own
+// (per-worker growers and arenas) or synchronized by construction
+// (Control, sinks, recorders). A write from a worker closure to
+// captured shared state — direct, or hidden inside a callee that
+// writes through a parameter — is a data race the race detector only
+// catches when the schedule cooperates.
+//
+// The analyzer inspects every function literal passed to
+// mine.RunSharded. A variable captured from the spawning scope is
+// shared; writes to it or through it are reported:
+//
+//   - directly: d.field = v, d.buf[i] = v, *d = v, d = v, d.n++;
+//   - via a callee whose summary (summary.Effects.WritesParams) says
+//     it writes through the parameter the shared variable is passed
+//     as — including method receivers, so topDec.From(arr) inside a
+//     worker is caught even though the store is two calls deep.
+//
+// Two access shapes are exempt: an access indexed by one of the
+// closure's own parameters (growers[worker], arenas[worker] — the
+// pool partitions those by construction), and values of the
+// synchronized layers (internal/mine, internal/obs, sync, context,
+// and interface values), whose mutation is their own contract.
+package sharedro
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/summary"
+)
+
+// Analyzer is the sharedro rule, scoped by the driver to the packages
+// that drive sharded mining (internal/core, internal/pfp).
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedro",
+	Doc: `forbids writes from a mine.RunSharded worker closure to values
+captured from the spawning scope (directly or through a callee whose
+summary writes a parameter): workers share the top-level CFP-array and
+its flat decoding read-only, and an unsynchronized write is a data
+race; per-worker state indexed by the closure's parameters and the
+synchronized mine/obs layers are exempt`,
+	Requires:  []*analysis.Analyzer{summary.Analyzer},
+	FactTypes: []analysis.Fact{new(summary.Effects)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	lookup := summary.Lookuper(pass)
+	for _, fd := range pass.FuncDecls() {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "RunSharded" ||
+				fn.Pkg() == nil || fn.Pkg().Path() != "cfpgrowth/internal/mine" {
+				return true
+			}
+			if len(call.Args) != 4 {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[3]).(*ast.FuncLit); ok {
+				checkWorker(pass, lit, lookup)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWorker reports shared-state writes inside one worker literal.
+func checkWorker(pass *analysis.Pass, lit *ast.FuncLit, lookup summary.Lookup) {
+	info := pass.TypesInfo
+
+	// The closure's own parameters: accesses indexed by them are
+	// partitioned per worker/shard/job and exempt.
+	params := map[types.Object]bool{}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				break
+			}
+			for _, lhs := range n.Lhs {
+				if obj, ok := sharedRoot(info, lit, params, lhs); ok {
+					pass.Reportf(lhs.Pos(), "worker closure writes %s, which is captured from the spawning scope and shared across RunSharded workers; an unsynchronized write here is a data race — make it worker-local or write it before the pool starts", obj.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj, ok := sharedRoot(info, lit, params, n.X); ok {
+				pass.Reportf(n.X.Pos(), "worker closure writes %s, which is captured from the spawning scope and shared across RunSharded workers; an unsynchronized write here is a data race — make it worker-local or write it before the pool starts", obj.Name())
+			}
+		case *ast.CallExpr:
+			checkCall(pass, lit, params, n, lookup)
+		}
+		return true
+	})
+}
+
+// checkCall reports shared captures passed where the callee's summary
+// writes.
+func checkCall(pass *analysis.Pass, lit *ast.FuncLit, params map[types.Object]bool, call *ast.CallExpr, lookup summary.Lookup) {
+	info := pass.TypesInfo
+	// copy(dst, ...) writes dst like a callee writing its first param.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 2 {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" {
+			if obj, ok := sharedRoot(info, lit, params, call.Args[0]); ok {
+				pass.Reportf(call.Args[0].Pos(), "copy writes into %s, which is captured from the spawning scope and shared across RunSharded workers; an unsynchronized write here is a data race — make it worker-local or write it before the pool starts", obj.Name())
+			}
+			return
+		}
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	eff := lookup(fn)
+	if eff == nil || eff.WritesParams == 0 {
+		return
+	}
+	for i, a := range summary.ArgExprs(call, fn) {
+		if a == nil || eff.WritesParams&(1<<i) == 0 {
+			continue
+		}
+		if obj, ok := sharedRoot(info, lit, params, a); ok {
+			pass.Reportf(a.Pos(), "call to %s writes through %s, which is captured from the spawning scope and shared across RunSharded workers; workers may only read shared decodes — give each worker its own copy or do the write before the pool starts", fn.Name(), obj.Name())
+		}
+	}
+}
+
+// sharedRoot chases e to its base variable and reports it when that
+// variable is captured shared state: declared outside the worker
+// literal, not reached through a parameter-indexed access, and not
+// part of the synchronized layers.
+func sharedRoot(info *types.Info, lit *ast.FuncLit, params map[types.Object]bool, e ast.Expr) (types.Object, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			// Indexed by a closure parameter: the pool partitions this
+			// access per worker/shard/job by construction.
+			if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok && params[info.Uses[id]] {
+				return nil, false
+			}
+			e = x.X
+		default:
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return nil, false
+			}
+			if lit.Pos() <= v.Pos() && v.Pos() <= lit.End() {
+				return nil, false // the closure's own local or parameter
+			}
+			if synchronized(v.Type()) {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+}
+
+// synchronized reports whether t belongs to the layers whose
+// concurrent mutation is their own documented contract: the mine and
+// obs packages, sync/context, and interface values (sinks, trackers).
+func synchronized(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			if types.IsInterface(t) {
+				return true
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			pkg := named.Obj().Pkg()
+			if pkg == nil {
+				return false
+			}
+			switch pkg.Path() {
+			case "cfpgrowth/internal/mine", "cfpgrowth/internal/obs", "sync", "context":
+				return true
+			}
+			return false
+		}
+	}
+}

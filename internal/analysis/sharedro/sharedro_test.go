@@ -1,0 +1,12 @@
+package sharedro_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/sharedro"
+)
+
+func TestShared(t *testing.T) {
+	analysis.RunFixture(t, sharedro.Analyzer, "testdata/shared")
+}

@@ -34,6 +34,7 @@ import (
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/cfg"
 	"cfpgrowth/internal/analysis/dataflow"
+	"cfpgrowth/internal/analysis/summary"
 )
 
 // ChecksControl is the fact exported for functions that poll a
@@ -43,6 +44,19 @@ type ChecksControl struct{}
 
 // AFact marks ChecksControl as a fact type.
 func (*ChecksControl) AFact() {}
+
+// EmitsUnguarded is the fact exported for functions containing an
+// emission — a Sink.Emit or a call to another EmitsUnguarded function
+// — at a point no internal stop-check dominates. Such a function
+// relies on its CALLER holding the check (the raw-plumbing-helper
+// shape, usually carrying a local //cfplint:ignore), so the obligation
+// is re-imposed at every call site. Helpers whose emissions are all
+// internally dominated do NOT get the fact: they are safe from any
+// caller, checked or not.
+type EmitsUnguarded struct{}
+
+// AFact marks EmitsUnguarded as a fact type.
+func (*EmitsUnguarded) AFact() {}
 
 // FactsAnalyzer computes ChecksControl facts for the current package.
 // It reports nothing; it exists so the main analyzer's Requires edge
@@ -65,9 +79,12 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `requires every Sink.Emit call to be dominated by a
 mine.Control stop-check (Err or Stopped) — on every control-flow path
 from function entry, or inside a helper that provably checks on all
-paths — so no itemset is emitted after the run has been stopped`,
-	Requires:  []*analysis.Analyzer{FactsAnalyzer},
-	FactTypes: []analysis.Fact{new(ChecksControl)},
+paths — so no itemset is emitted after the run has been stopped; an
+unguarded call to a helper whose summary says it emits (EmitsSink)
+without checking internally is flagged the same way, so wrapping the
+Emit in a package-local helper cannot hide it`,
+	Requires:  []*analysis.Analyzer{FactsAnalyzer, summary.Analyzer},
+	FactTypes: []analysis.Fact{new(ChecksControl), new(EmitsUnguarded), new(summary.Effects)},
 	Run:       run,
 }
 
@@ -77,6 +94,9 @@ const minePath = "cfpgrowth/internal/mine"
 // has happened on every path to this point".
 type checkedProblem struct {
 	pass *analysis.Pass
+	// lookup resolves callee summaries (nil inside the facts pass,
+	// which runs before summaries are needed).
+	lookup summary.Lookup
 }
 
 func (p checkedProblem) Entry() bool { return false }
@@ -143,36 +163,61 @@ func runFacts(pass *analysis.Pass) error {
 }
 
 func run(pass *analysis.Pass) error {
-	prob := checkedProblem{pass: pass}
-	for _, fd := range pass.FuncDecls() {
-		checkBody(pass, prob, fd.Body, false)
+	prob := checkedProblem{pass: pass, lookup: summary.Lookuper(pass)}
+	decls := pass.FuncDecls()
+	// Phase 1: fixpoint over EmitsUnguarded facts, silently. A helper
+	// whose emission depends on the caller's check makes every
+	// unchecked caller an emission site of its own, so marking one
+	// helper can mark a second that calls it.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || pass.ImportObjectFact(obj, new(EmitsUnguarded)) {
+				continue
+			}
+			if checkBody(pass, prob, fd.Body, false, false) {
+				pass.ExportObjectFact(obj, &EmitsUnguarded{})
+				changed = true
+			}
+		}
+	}
+	// Phase 2: report, with every fact in place.
+	for _, fd := range decls {
+		checkBody(pass, prob, fd.Body, false, true)
 	}
 	return nil
 }
 
 // checkBody analyzes one function body whose entry state is entry,
-// reporting unguarded emissions and recursing into function literals
-// with the state at their creation point.
-func checkBody(pass *analysis.Pass, prob checkedProblem, body *ast.BlockStmt, entry bool) {
+// finding unguarded emissions and recursing into function literals
+// with the state at their creation point. With report set it emits
+// diagnostics; it always returns whether any unguarded emission
+// exists (the EmitsUnguarded condition).
+func checkBody(pass *analysis.Pass, prob checkedProblem, body *ast.BlockStmt, entry, report bool) bool {
 	g := cfg.New(body)
 	entryProb := entryProblem{checkedProblem: prob, entry: entry}
 	res := dataflow.Forward[bool](g, entryProb)
+	found := false
 	res.Iterate(g, entryProb, func(n ast.Node, before bool) {
 		switch n.(type) {
 		case *ast.DeferStmt, *ast.GoStmt:
 			// Defer/go bodies see the current state but cannot GEN; an
 			// Emit inside them is checked against the creation state.
-			visitNode(pass, prob, n, before, true)
+			found = visitNode(pass, prob, n, before, true, report) || found
 			return
 		}
-		visitNode(pass, prob, n, before, false)
+		found = visitNode(pass, prob, n, before, false, report) || found
 	})
+	return found
 }
 
 // visitNode walks one CFG node in evaluation order, interleaving
 // reporting with the same GEN logic the transfer uses so that a check
-// and an emission inside a single statement are ordered correctly.
-func visitNode(pass *analysis.Pass, prob checkedProblem, n ast.Node, s bool, frozen bool) {
+// and an emission inside a single statement are ordered correctly. It
+// returns whether the node contains an unguarded emission.
+func visitNode(pass *analysis.Pass, prob checkedProblem, n ast.Node, s bool, frozen, report bool) bool {
+	found := false
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.CallExpr:
@@ -181,16 +226,36 @@ func visitNode(pass *analysis.Pass, prob checkedProblem, n ast.Node, s bool, fro
 				return true
 			}
 			if isSinkEmit(fn) && !s {
-				pass.Reportf(m.Pos(), "Sink.Emit is not dominated by a mine.Control stop-check (Err/Stopped) in this function")
+				found = true
+				if report {
+					pass.Reportf(m.Pos(), "Sink.Emit is not dominated by a mine.Control stop-check (Err/Stopped) in this function")
+				}
+			}
+			// A helper that emits somewhere below it (per its summary)
+			// while relying on its caller's stop-check (the EmitsUnguarded
+			// fact) inherits the Emit's obligation at this call site:
+			// wrapping the emission in a package-local helper must not
+			// launder the check away. Helpers whose internal emissions are
+			// all self-dominated carry no fact and are safe from any
+			// caller.
+			if !s && !isSinkEmit(fn) && !prob.isCheck(fn) &&
+				pass.ImportObjectFact(fn, new(EmitsUnguarded)) {
+				if eff := prob.lookup(fn); eff != nil && eff.EmitsSink {
+					found = true
+					if report {
+						pass.Reportf(m.Pos(), "call to %s emits itemsets (per its summary) without an internal stop-check, and this call is not dominated by one either; an itemset can be emitted after the run has stopped", fn.Name())
+					}
+				}
 			}
 			if !frozen && prob.isCheck(fn) {
 				s = true
 			}
 		case *ast.FuncLit:
-			checkBody(pass, prob, m.Body, s)
+			found = checkBody(pass, prob, m.Body, s, report) || found
 		}
 		return true
 	})
+	return found
 }
 
 // entryProblem wraps checkedProblem with a configurable entry state so

@@ -169,3 +169,50 @@ func (m *miner) emitViaWeakHelper(items []uint32, sup uint64) error {
 	}
 	return m.sink.Emit(items, sup) // want `Sink.Emit is not dominated by a mine.Control stop-check`
 }
+
+// rawEmit hides the emission one level down without checking: the
+// summary (EmitsSink, no ChecksControl) moves the obligation to each
+// call site.
+func (m *miner) rawEmit(items []uint32, sup uint64) error {
+	//cfplint:ignore sinkguard raw plumbing helper: every caller is required to hold the stop-check
+	return m.sink.Emit(items, sup)
+}
+
+// hiddenEmitUnguarded calls the hiding helper without a check — the
+// summary-driven rule catches what the direct Emit match cannot see.
+func (m *miner) hiddenEmitUnguarded(items []uint32, sup uint64) error {
+	return m.rawEmit(items, sup) // want `call to rawEmit emits itemsets \(per its summary\) without an internal stop-check, and this call is not dominated by one either`
+}
+
+// hiddenEmitGuarded holds the check the helper delegates.
+func (m *miner) hiddenEmitGuarded(items []uint32, sup uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
+	return m.rawEmit(items, sup)
+}
+
+// deepHidden pushes the emission two helpers down; EmitsSink
+// propagates through the chain.
+func (m *miner) deepHidden(items []uint32, sup uint64) error {
+	//cfplint:ignore sinkguard raw plumbing helper: every caller is required to hold the stop-check
+	return m.rawEmit(items, sup)
+}
+
+func (m *miner) deepHiddenUnguarded(items []uint32, sup uint64) error {
+	return m.deepHidden(items, sup) // want `call to deepHidden emits itemsets \(per its summary\) without an internal stop-check, and this call is not dominated by one either`
+}
+
+// checkingEmitter emits below itself but checks internally on every
+// path, so unguarded callers are fine — the ChecksControl fact excuses
+// the summary.
+func (m *miner) checkingEmitter(items []uint32, sup uint64) error {
+	if err := m.ctl.Err(); err != nil {
+		return err
+	}
+	return m.sink.Emit(items, sup)
+}
+
+func (m *miner) callsCheckingEmitter(items []uint32, sup uint64) error {
+	return m.checkingEmitter(items, sup)
+}

@@ -1,0 +1,36 @@
+package summary_test
+
+import (
+	"go/types"
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/summary"
+)
+
+// probe reports every declared function's computed Effects as a
+// diagnostic, so the fixture's want comments check the summary
+// computation end to end (facts included).
+var probe = &analysis.Analyzer{
+	Name:      "summaryprobe",
+	Doc:       "test probe: reports each function's Effects summary",
+	Requires:  []*analysis.Analyzer{summary.Analyzer},
+	FactTypes: []analysis.Fact{new(summary.Effects)},
+	Run: func(pass *analysis.Pass) error {
+		lookup := summary.Lookuper(pass)
+		for _, fd := range pass.FuncDecls() {
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if eff := lookup(fn); eff != nil {
+				pass.Reportf(fd.Name.Pos(), "effects: %s", eff)
+			}
+		}
+		return nil
+	},
+}
+
+func TestEffects(t *testing.T) {
+	analysis.RunFixture(t, probe, "testdata/effects")
+}

@@ -159,3 +159,42 @@ func taintThroughArithmetic(b []byte) byte {
 	pos += n
 	return b[pos] // want `varint-derived value pos is used as an index`
 }
+
+// pick indexes its parameter with no check of its own: the summary
+// marks i as an unbounded index slot.
+func pick(b []uint32, i uint64) uint32 { return b[i] }
+
+// forwardTaintedIndex hands the undecoded varint value straight to
+// pick — the fault is one call away and only the summary sees it.
+func forwardTaintedIndex(buf []byte, table []uint32) uint32 {
+	v, n := encoding.Uvarint(buf)
+	if n <= 0 {
+		return 0
+	}
+	return pick(table, v) // want `varint-derived value v is used as an unchecked index inside pick without a dominating bounds check on this path`
+}
+
+// forwardCheckedIndex vouches for the value before forwarding it.
+func forwardCheckedIndex(buf []byte, table []uint32) uint32 {
+	v, n := encoding.Uvarint(buf)
+	if n <= 0 || v >= uint64(len(table)) {
+		return 0
+	}
+	return pick(table, v)
+}
+
+// pickChecked bounds the index itself, so tainted callers are fine.
+func pickChecked(b []uint32, i uint64) uint32 {
+	if i >= uint64(len(b)) {
+		return 0
+	}
+	return b[i]
+}
+
+func forwardToCheckedCallee(buf []byte, table []uint32) uint32 {
+	v, n := encoding.Uvarint(buf)
+	if n <= 0 {
+		return 0
+	}
+	return pickChecked(table, v)
+}

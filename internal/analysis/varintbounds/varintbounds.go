@@ -52,6 +52,7 @@ import (
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/cfg"
 	"cfpgrowth/internal/analysis/dataflow"
+	"cfpgrowth/internal/analysis/summary"
 )
 
 // Untrusted is the fact exported for functions whose results carry
@@ -114,19 +115,22 @@ encoding.SkipUvarint to be compared within the same function, and —
 path-sensitively — requires every varint-derived value reaching a
 slice index, slice bound, or make size to be dominated by a sanitizing
 comparison (constant truncation check, directional bound check, or an
-assert audit) on every path`,
-	Requires:  []*analysis.Analyzer{Sources},
-	FactTypes: []analysis.Fact{new(Untrusted)},
+assert audit) on every path; passing a tainted value to a callee whose
+summary says it indexes that parameter unchecked (UnboundedIndex) is
+the same sink one call further away`,
+	Requires:  []*analysis.Analyzer{Sources, summary.Analyzer},
+	FactTypes: []analysis.Fact{new(Untrusted), new(summary.Effects)},
 	Run:       run,
 }
 
 func run(pass *analysis.Pass) error {
+	lookup := summary.Lookuper(pass)
 	for _, fd := range pass.FuncDecls() {
 		lexicalCheck(pass, fd)
-		taintCheck(pass, fd.Body)
+		taintCheck(pass, fd.Body, lookup)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
-				taintCheck(pass, lit.Body)
+				taintCheck(pass, lit.Body, lookup)
 			}
 			return true
 		})
@@ -472,7 +476,7 @@ func rootObj(info *types.Info, e ast.Expr) types.Object {
 
 // taintCheck solves the taint problem over one function scope and
 // reports tainted values reaching sinks.
-func taintCheck(pass *analysis.Pass, body *ast.BlockStmt) {
+func taintCheck(pass *analysis.Pass, body *ast.BlockStmt, lookup summary.Lookup) {
 	prob := &taintProblem{pass: pass, audited: collectAudits(pass, body)}
 	g := cfg.New(body)
 	res := dataflow.Forward[tstate](g, prob)
@@ -480,7 +484,7 @@ func taintCheck(pass *analysis.Pass, body *ast.BlockStmt) {
 		// Check sinks against the pre-node state; within one
 		// statement, sinks in the RHS are evaluated before the
 		// assignment re-taints or cleans the LHS.
-		checkSinks(pass, prob, n, before)
+		checkSinks(pass, prob, n, before, lookup)
 	})
 }
 
@@ -520,7 +524,7 @@ func collectAudits(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]to
 
 // checkSinks walks one CFG node reporting tainted values used as
 // slice/array/string indices, slice bounds, or make sizes.
-func checkSinks(pass *analysis.Pass, prob *taintProblem, n ast.Node, s tstate) {
+func checkSinks(pass *analysis.Pass, prob *taintProblem, n ast.Node, s tstate, lookup summary.Lookup) {
 	info := pass.TypesInfo
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
@@ -540,7 +544,26 @@ func checkSinks(pass *analysis.Pass, prob *taintProblem, n ast.Node, s tstate) {
 					for _, arg := range m.Args[1:] {
 						reportTaintedExpr(pass, prob, s, arg, "a make size")
 					}
+					return true
 				}
+			}
+			// A callee whose summary says it indexes a parameter without
+			// its own check (UnboundedIndex) is the same sink one call
+			// further away: handing it a tainted value faults inside the
+			// callee.
+			fn := analysis.Callee(info, m)
+			if fn == nil {
+				return true
+			}
+			eff := lookup(fn)
+			if eff == nil || eff.UnboundedIndex == 0 {
+				return true
+			}
+			for i, arg := range summary.ArgExprs(m, fn) {
+				if arg == nil || eff.UnboundedIndex&(1<<i) == 0 {
+					continue
+				}
+				reportTaintedExpr(pass, prob, s, arg, "an unchecked index inside "+fn.Name())
 			}
 		}
 		return true

@@ -201,15 +201,20 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	// One shared flat decoding of the initial array serves every
 	// worker read-only; each worker decodes its own conditional
 	// arrays privately.
+	// The decode's footprint is charged through an unconditional
+	// Alloc/Free pair (zero when the decode is unavailable) so the
+	// charge and its release pair up on every path.
 	var topDec *Decode
+	var topDecBytes int64
 	if !g.Config.DisableFlatDecode {
 		topDec = new(Decode)
 		if topDec.From(arr) {
-			track.Alloc(topDec.Bytes())
+			topDecBytes = topDec.Bytes()
 		} else {
 			topDec = nil
 		}
 	}
+	track.Alloc(topDecBytes)
 	err = mine.RunSharded(workers, shards, ctl, func(worker, shard, rank int) error {
 		m := growers[worker]
 		if shardRecs != nil {
@@ -217,9 +222,7 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		}
 		return m.mineTopItem(arr, topDec, uint32(rank))
 	})
-	if topDec != nil {
-		track.Free(topDec.Bytes())
-	}
+	track.Free(topDecBytes)
 	track.Free(arr.Bytes())
 	sp.End()
 	for _, sr := range shardRecs {

@@ -22,6 +22,12 @@ import (
 // (for per-worker state such as arenas), the shard index (for
 // per-shard attribution such as observability recorders), and the job
 // value.
+//
+// The drain loop and the worker closures are the per-job dispatch path
+// of every sharded mine: one iteration per conditional-pattern job, so
+// per-iteration allocations multiply by the job count.
+//
+//cfplint:hot
 func RunSharded(workers int, shards [][]int, ctl *Control, fn func(worker, shard, job int) error) error {
 	if ctl == nil {
 		// A private control still gives first-error-wins semantics.

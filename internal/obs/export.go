@@ -116,6 +116,11 @@ func Serve(addr string, r *Recorder) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}, ln: ln}
+	// The server goroutine deliberately detaches: it lives until Close
+	// shuts the http.Server down, which unblocks Serve and ends it —
+	// joining it would couple every run to the debug endpoint's
+	// lifetime.
+	//cfplint:ignore goroutinesafe detached by design; Close() terminates Serve and the goroutine with it
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
