@@ -15,17 +15,20 @@ vet:
 # Project-specific analyzers (internal/analysis, driven by cmd/cfplint):
 # ptr40safe, ledgerbalance, goroutinesafe, poolreturn, sharedro,
 # sinkguard, obsguard, lockorder, errsentinel, varintbounds,
-# atomicfield, allochot — preceded by a summary phase that publishes
-# per-function Effects facts in package dependency order. Suppress a
-# finding with `//cfplint:ignore <analyzer> <reason>` on or above the
-# line.
+# atomicfield, allochot, and the numeric layer intwidth, loopprogress,
+# boundscertain — preceded by reporting-free summary and rangefacts
+# phases that publish per-function Effects and result-range facts in
+# package dependency order. Suppress a finding with
+# `//cfplint:ignore <analyzer> <reason>` on or above the line.
 lint:
 	$(GO) run ./cmd/cfplint ./...
 
 # Same run, also writing the findings as a JSON artifact (CI uploads
-# it so a red lint step is inspectable without replaying the build).
+# it so a red lint step is inspectable without replaying the build)
+# and gating per-analyzer wall time against the committed baseline
+# (fails on >2x drift, a missing entry, or a stale one).
 lint-json:
-	$(GO) run ./cmd/cfplint -json cfplint.json ./...
+	$(GO) run ./cmd/cfplint -json cfplint.json -budget cmd/cfplint/budget.json ./...
 
 # Every suppression must carry a reason; the analyzers enforce this at
 # lint time, and this grep backstops files the lint patterns miss

@@ -7,23 +7,36 @@
 // discipline (goroutinesafe), shared-state read-only discipline in
 // sharded workers (sharedro), span hygiene (obsguard), sentinel-error
 // hygiene (errsentinel), atomic-field discipline (atomicfield),
-// lock-order discipline (lockorder), and hot-path allocation
-// discipline (allochot). A reporting-free summary phase runs first,
-// publishing per-function Effects facts the interprocedural analyzers
-// consume.
+// lock-order discipline (lockorder), hot-path allocation discipline
+// (allochot), and the numeric layer: packed-width proofs (intwidth),
+// loop-progress proofs (loopprogress), and in-range certification of
+// index/slice expressions (boundscertain, reporting-free — it
+// publishes the Certified fact varintbounds consumes to drop taint
+// findings the interval engine has proven safe). Two reporting-free
+// phases run first: summary publishes the per-function Effects facts
+// the interprocedural analyzers consume, and rangefacts (pulled in as
+// a requirement of the numeric analyzers) publishes per-function
+// result ranges.
 //
 // Usage:
 //
-//	go run ./cmd/cfplint [-tests] [-list] [-json file] [packages...]
+//	go run ./cmd/cfplint [-tests] [-list] [-json file] [-budget file] [packages...]
 //
 // With no arguments it checks ./... . Findings print as
 // file:line:col: message [analyzer]; -json additionally writes the CI
 // artifact to the given file: an object {"findings": [...],
 // "timings_ms": {...}} with per-analyzer wall time summed across
-// packages. The exit status is 1 when any finding survives, 2 when
-// loading fails, the patterns match no packages, or the artifact
-// cannot be written — an empty match or a lost artifact is a
-// misconfiguration, not a clean run. Individual sites are suppressed with an audited directive
+// packages. -budget reads a committed baseline file (analyzer →
+// milliseconds) and fails the run when any analyzer exceeds twice its
+// baseline, ran without a baseline entry, or has a baseline entry but
+// never ran — so a solver regression (say, interval iteration falling
+// off its fixpoint fast path) fails CI instead of silently tripling
+// lint wall time, and the baseline file cannot drift out of sync with
+// the suite. The exit status is 1 when any finding survives or the
+// budget check fails, 2 when loading fails, the patterns match no
+// packages, or the artifact cannot be written — an empty match or a
+// lost artifact is a misconfiguration, not a clean run. Individual
+// sites are suppressed with an audited directive
 // on the flagged line or the line above:
 //
 //	//cfplint:ignore <analyzer> <reason>
@@ -49,13 +62,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/allochot"
 	"cfpgrowth/internal/analysis/atomicfield"
+	"cfpgrowth/internal/analysis/boundscertain"
 	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/intwidth"
+	"cfpgrowth/internal/analysis/loopprogress"
 	"cfpgrowth/internal/analysis/goroutinesafe"
 	"cfpgrowth/internal/analysis/ledgerbalance"
 	"cfpgrowth/internal/analysis/lockorder"
@@ -102,18 +119,29 @@ var suite = []scoped{
 		"cfpgrowth/internal/pfp",
 		"cfpgrowth/internal/fptree",
 		"cfpgrowth/internal/algo",
+		"cfpgrowth/internal/vm",
+		"cfpgrowth/internal/synth",
+		"cfpgrowth/internal/stats",
 	)},
 	{goroutinesafe.Analyzer, anyPrefix(
 		"cfpgrowth/internal/mine",
 		"cfpgrowth/internal/core",
 		"cfpgrowth/internal/pfp",
 		"cfpgrowth/internal/obs",
+		"cfpgrowth/internal/vm",
+		"cfpgrowth/internal/synth",
+		"cfpgrowth/internal/stats",
+		"cfpgrowth/cmd",
 	)},
 	{poolreturn.Analyzer, anyPrefix(
 		"cfpgrowth/internal/core",
 		"cfpgrowth/internal/pfp",
 		"cfpgrowth/internal/fptree",
 		"cfpgrowth/internal/algo",
+		"cfpgrowth/internal/vm",
+		"cfpgrowth/internal/synth",
+		"cfpgrowth/internal/stats",
+		"cfpgrowth/cmd",
 	)},
 	{sharedro.Analyzer, anyPrefix(
 		"cfpgrowth/internal/core",
@@ -130,6 +158,9 @@ var suite = []scoped{
 		"cfpgrowth/internal/pfp",
 		"cfpgrowth/internal/fptree",
 		"cfpgrowth/internal/experiments",
+		"cfpgrowth/internal/vm",
+		"cfpgrowth/internal/synth",
+		"cfpgrowth/internal/stats",
 		"cfpgrowth/cmd",
 	)},
 	{lockorder.Analyzer, anyPrefix(
@@ -137,9 +168,32 @@ var suite = []scoped{
 		"cfpgrowth/internal/core",
 	)},
 	{errsentinel.Analyzer, everywhere},
+	// boundscertain runs wherever varintbounds does (it is also in its
+	// Requires); the explicit entry keeps it in -list and the timing
+	// report even if the consumer is ever rescoped.
+	{boundscertain.Analyzer, everywhere},
 	{varintbounds.Analyzer, everywhere},
 	{atomicfield.Analyzer, everywhere},
 	{allochot.Analyzer, everywhere},
+	// intwidth audits the layers that own or feed the packed formats —
+	// 40-bit arena pointers, suppressed-zero count words, varint
+	// triples. Outside them (baseline algorithms, experiment scripts,
+	// the public API) a uint32(len(...)) is ordinary Go, not a
+	// field-boundary invariant, and flagging it would bury the signal.
+	{intwidth.Analyzer, anyPrefix(
+		"cfpgrowth/internal/encoding",
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/arena",
+		"cfpgrowth/internal/mine",
+	)},
+	// loopprogress scopes itself to hot-marked functions and loops
+	// that call the varint decoders; package-wise it runs everywhere
+	// untrusted decoded structures are traversed. The analysis
+	// framework has neither, so it is out of scope (self-analysis
+	// would dominate lint wall time).
+	{loopprogress.Analyzer, func(path string) bool {
+		return !strings.HasPrefix(path, "cfpgrowth/internal/analysis")
+	}},
 }
 
 // jsonFinding is the -json serialization of one finding.
@@ -172,6 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", false, "also analyze in-package _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	jsonOut := fs.String("json", "", "also write findings and per-analyzer timings as JSON to this `file`")
+	budgetFile := fs.String("budget", "", "compare per-analyzer timings against this baseline `file` and fail on >2x drift")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -263,10 +318,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	if len(all) > 0 {
+	budgetOK := true
+	if *budgetFile != "" {
+		data, err := os.ReadFile(*budgetFile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var budget map[string]float64
+		if err := json.Unmarshal(data, &budget); err != nil {
+			fmt.Fprintf(stderr, "cfplint: parsing budget %s: %v\n", *budgetFile, err)
+			return 2
+		}
+		timingsMS := map[string]float64{}
+		for name, d := range timings {
+			timingsMS[name] = float64(d.Microseconds()) / 1000
+		}
+		for _, v := range checkBudget(timingsMS, budget) {
+			fmt.Fprintf(stderr, "cfplint: budget: %s\n", v)
+			budgetOK = false
+		}
+	}
+	if len(all) > 0 || !budgetOK {
 		return 1
 	}
 	return 0
+}
+
+// budgetSlack is the regression threshold: an analyzer may take up to
+// this multiple of its committed baseline before the budget check
+// fails. 2x absorbs machine and load variance while still catching
+// order-of-magnitude blowups (a widening loop that stops converging, a
+// fact lookup that turns quadratic).
+const budgetSlack = 2.0
+
+// checkBudget compares measured per-analyzer timings (ms) against the
+// committed baseline and returns one violation string per problem:
+// an analyzer over budgetSlack times its baseline, an analyzer that
+// ran with no baseline entry (new analyzer, baseline not updated), or
+// a baseline entry for an analyzer that never ran (removed or renamed
+// analyzer, stale baseline). Results are sorted for stable output.
+func checkBudget(timingsMS, budget map[string]float64) []string {
+	var viol []string
+	for _, name := range sortedKeys(timingsMS) {
+		t := timingsMS[name]
+		b, ok := budget[name]
+		if !ok {
+			viol = append(viol, fmt.Sprintf("analyzer %s ran (%.1fms) but has no baseline entry; add one", name, t))
+			continue
+		}
+		if t > budgetSlack*b {
+			viol = append(viol, fmt.Sprintf("analyzer %s took %.1fms, over %gx its %.0fms baseline", name, t, budgetSlack, b))
+		}
+	}
+	for _, name := range sortedKeys(budget) {
+		if _, ok := timingsMS[name]; !ok {
+			viol = append(viol, fmt.Sprintf("baseline entry %s matches no analyzer that ran; remove it", name))
+		}
+	}
+	return viol
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // topoOrder sorts pkgs so that every package follows the packages it

@@ -135,3 +135,106 @@ func TestUnwritableArtifactExits2(t *testing.T) {
 		t.Error("expected the write error on stderr")
 	}
 }
+
+// TestCheckBudget exercises the comparison logic: in-budget timings
+// pass, >2x timings fail, analyzers without a baseline fail, and
+// stale baseline entries fail.
+func TestCheckBudget(t *testing.T) {
+	budget := map[string]float64{"fast": 10, "slow": 100}
+	cases := []struct {
+		name    string
+		timings map[string]float64
+		want    []string // substrings, one per expected violation, in order
+	}{
+		{"in budget", map[string]float64{"fast": 9, "slow": 150}, nil},
+		{"at the 2x boundary", map[string]float64{"fast": 20, "slow": 200}, nil},
+		{"over 2x", map[string]float64{"fast": 20.1, "slow": 90},
+			[]string{"analyzer fast took 20.1ms, over 2x its 10ms baseline"}},
+		{"missing baseline", map[string]float64{"fast": 1, "slow": 1, "brandnew": 0.5},
+			[]string{"analyzer brandnew ran (0.5ms) but has no baseline entry"}},
+		{"stale baseline", map[string]float64{"fast": 1},
+			[]string{"baseline entry slow matches no analyzer that ran"}},
+		{"several at once", map[string]float64{"brandnew": 1, "slow": 500},
+			[]string{
+				"analyzer brandnew ran",
+				"analyzer slow took 500.0ms, over 2x its 100ms baseline",
+				"baseline entry fast matches no analyzer",
+			}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := checkBudget(tc.timings, budget)
+			if len(got) != len(tc.want) {
+				t.Fatalf("violations = %q, want %d", got, len(tc.want))
+			}
+			for i, w := range tc.want {
+				if !strings.Contains(got[i], w) {
+					t.Errorf("violation[%d] = %q, want it to contain %q", i, got[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestBudgetGateEndToEnd runs the driver with -budget against a
+// baseline whose entries can never match the analyzers that actually
+// ran, and requires the failure exit plus a violation on stderr; a
+// second run against a generous matching baseline must pass. The
+// committed budget.json itself is validated in CI (where the full
+// ./... suite runs), not here, because a package subset activates a
+// subset of analyzers.
+func TestBudgetGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	runWith := func(budget string) (int, string) {
+		path := filepath.Join(dir, "budget.json")
+		if err := os.WriteFile(path, []byte(budget), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-budget", path, "../../internal/encoding"}, &stdout, &stderr)
+		return code, stderr.String()
+	}
+	code, errs := runWith(`{"nosuchanalyzer": 1}`)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errs)
+	}
+	if !strings.Contains(errs, "cfplint: budget:") {
+		t.Errorf("stderr = %q, want budget violations", errs)
+	}
+	if !strings.Contains(errs, "baseline entry nosuchanalyzer matches no analyzer") {
+		t.Errorf("stderr = %q, want the stale-entry violation", errs)
+	}
+
+	// Build a matching baseline from the analyzers that actually ran:
+	// run once with -json to learn the set, then budget each at a
+	// ceiling far above any plausible wall time.
+	artifact := filepath.Join(dir, "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", artifact, "../../internal/encoding"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline discovery run: exit %d; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	generous := map[string]float64{}
+	for name := range report.TimingsMS {
+		generous[name] = 1e9
+	}
+	enc, err := json.Marshal(generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, errs := runWith(string(enc)); code != 0 {
+		t.Fatalf("generous baseline: exit = %d, want 0; stderr: %s", code, errs)
+	}
+
+	// A malformed baseline is a misconfiguration: exit 2.
+	if code, _ := runWith(`{"not json`); code != 2 {
+		t.Fatalf("malformed baseline: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,195 @@
+// Package boundscertain is the discharge side of the numeric layer:
+// it proves index and slice expressions in range instead of flagging
+// them. It reports nothing; its output is a Certified fact on each
+// function listing the sites whose safety follows from dominating
+// guards, debugChecks assertions, or callee ranges, as established by
+// the interval engine. varintbounds consumes the fact and drops its
+// taint findings at certified sites, so the proof layer shrinks the
+// //cfplint:ignore surface rather than growing it.
+//
+// An index a[i] is certified when the interval of i has a
+// non-negative lower bound and an upper bound below the length of a —
+// either the exact length of an array, or a symbolic len bound
+// established against the same SSA version of the slice the index
+// reads (a reassignment of the slice between guard and use breaks the
+// version identity and voids the proof). A slice expression is
+// certified when each present bound is likewise proven within
+// [0, len] and the low/high pair cannot cross.
+package boundscertain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/interval"
+	"cfpgrowth/internal/analysis/ssa"
+)
+
+// Certified is the per-function fact: source positions (the Lbrack of
+// the index or slice expression) proven in range.
+type Certified struct {
+	Sites []token.Pos
+}
+
+// AFact marks Certified as a fact type.
+func (*Certified) AFact() {}
+
+// Analyzer is the boundscertain pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "boundscertain",
+	Doc:       "certify index/slice expressions proven in range by the interval engine (no findings; publishes the Certified fact)",
+	Requires:  []*analysis.Analyzer{interval.Facts},
+	FactTypes: []analysis.Fact{new(Certified), new(interval.ResultRanges)},
+	Run:       run,
+}
+
+// Sites returns the certified positions of fn as a set, empty when no
+// fact was published.
+func Sites(pass *analysis.Pass, fn *types.Func) map[token.Pos]bool {
+	set := map[token.Pos]bool{}
+	var fact Certified
+	if fn != nil && pass.ImportObjectFact(fn, &fact) {
+		for _, p := range fact.Sites {
+			set[p] = true
+		}
+	}
+	return set
+}
+
+func run(pass *analysis.Pass) error {
+	look := interval.PassLookuper(pass)
+	for _, fd := range pass.FuncDecls() {
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sites := certifyFunc(pass, fd, look)
+		if len(sites) > 0 {
+			pass.ExportObjectFact(obj, &Certified{Sites: sites})
+		}
+	}
+	return nil
+}
+
+func certifyFunc(pass *analysis.Pass, fd *ast.FuncDecl, look interval.Lookuper) []token.Pos {
+	g := cfg.New(fd.Body)
+	fn := ssa.Build(fd, g, pass.TypesInfo)
+	res := interval.Analyze(fn, pass.TypesInfo, look)
+
+	var sites []token.Pos
+	seen := map[ast.Node]bool{}
+	for _, blk := range g.Blocks {
+		if !fn.Reachable(blk) {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if _, ok := n.(cfg.RangeHead); ok {
+				continue // synthetic: ast.Inspect cannot walk it
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					return false // opaque to the SSA form
+				case *ast.IndexExpr:
+					if certifyIndex(pass.TypesInfo, fn, res, m) {
+						sites = append(sites, m.Lbrack)
+					}
+				case *ast.SliceExpr:
+					if certifySlice(pass.TypesInfo, fn, res, m) {
+						sites = append(sites, m.Lbrack)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return sites
+}
+
+// arrayLen returns the length of the (possibly pointed-to) array type
+// and whether base is one.
+func arrayLen(info *types.Info, base ast.Expr) (int64, bool) {
+	tv, ok := info.Types[base]
+	if !ok {
+		return 0, false
+	}
+	ut := tv.Type.Underlying()
+	if p, ok := ut.(*types.Pointer); ok {
+		ut = p.Elem().Underlying()
+	}
+	if at, ok := ut.(*types.Array); ok {
+		return at.Len(), true
+	}
+	return 0, false
+}
+
+// boundOK reports whether iv proves a value within [0, len(base)+slack]
+// at this use of base: slack is -1 for an index (strictly below the
+// length) and 0 for a slice bound (the length itself is legal).
+func boundOK(fn *ssa.Func, iv interval.Interval, base ast.Expr, slack int64, exactLen int64, isArray bool) bool {
+	if iv.Empty() || iv.Lo < 0 {
+		return false
+	}
+	if isArray {
+		return iv.Hi <= exactLen+slack
+	}
+	if iv.Sym == nil || iv.Sym.Off > slack {
+		return false
+	}
+	id, ok := ast.Unparen(base).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return fn.UseOf[id] == iv.Sym.Len
+}
+
+func certifyIndex(info *types.Info, fn *ssa.Func, res *interval.Result, m *ast.IndexExpr) bool {
+	tv, ok := info.Types[m.X]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map, *types.Chan:
+		return false
+	}
+	n, isArray := arrayLen(info, m.X)
+	return boundOK(fn, res.Eval(m.Index), m.X, -1, n, isArray)
+}
+
+func certifySlice(info *types.Info, fn *ssa.Func, res *interval.Result, m *ast.SliceExpr) bool {
+	if m.Max != nil {
+		return false // full-slice capacity bounds are out of scope
+	}
+	n, isArray := arrayLen(info, m.X)
+	zero := func(e ast.Expr) bool {
+		if e == nil {
+			return true
+		}
+		c, ok := res.Eval(e).Const()
+		return ok && c == 0
+	}
+	proven := func(e ast.Expr) bool {
+		return boundOK(fn, res.Eval(e), m.X, 0, n, isArray)
+	}
+	switch {
+	case zero(m.Low) && m.High == nil:
+		return true // b[:], b[0:]: cannot panic
+	case zero(m.Low):
+		return proven(m.High)
+	case m.High == nil:
+		return proven(m.Low)
+	default:
+		// Both bounds present and non-zero: with the high bound proven
+		// ≤ len, the low bound only needs 0 ≤ low ≤ high numerically
+		// (low ≤ high ≤ len cannot cross or escape).
+		lo, hi := res.Eval(m.Low), res.Eval(m.High)
+		return proven(m.High) && !lo.Empty() && lo.Lo >= 0 && lo.Hi <= hi.Lo
+	}
+}

@@ -1,0 +1,31 @@
+package boundscertain_test
+
+import (
+	"go/types"
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/boundscertain"
+)
+
+// probe reports every certified site as a diagnostic so the fixture's
+// want comments pin down exactly what the prover certifies.
+var probe = &analysis.Analyzer{
+	Name:      "boundsprobe",
+	Doc:       "test probe: reports each site certified by boundscertain",
+	Requires:  []*analysis.Analyzer{boundscertain.Analyzer},
+	FactTypes: []analysis.Fact{new(boundscertain.Certified)},
+	Run: func(pass *analysis.Pass) error {
+		for _, fd := range pass.FuncDecls() {
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			for pos := range boundscertain.Sites(pass, fn) {
+				pass.Reportf(pos, "certified")
+			}
+		}
+		return nil
+	},
+}
+
+func TestCertifiedSites(t *testing.T) {
+	analysis.RunFixture(t, probe, "testdata")
+}

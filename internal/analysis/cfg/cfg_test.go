@@ -335,6 +335,310 @@ func f(n int) int {
 	}
 }
 
+// blockOf returns the first block whose nodes mention the identifier.
+func blockOf(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(nodeOrStmt(n), func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q", name)
+	return nil
+}
+
+// reachableFrom returns the set of blocks reachable from start.
+func reachableFrom(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.Succs {
+			if !seen[e.To] {
+				seen[e.To] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func TestFallthroughTargetsNextCaseOnly(t *testing.T) {
+	src := `package p
+func f(a int) {
+	switch a {
+	case 0:
+		zero()
+		fallthrough
+	case 1:
+		one()
+	case 2:
+		two()
+	}
+	done()
+}
+func zero() {}
+func one()  {}
+func two()  {}
+func done() {}`
+	_, g := buildFunc(t, src, "f")
+	from := reachableFrom(blockOf(t, g, "zero"))
+	if !hasCallTo(g, from, "one") {
+		t.Error("fallthrough from case 0 must reach case 1's body")
+	}
+	if hasCallTo(g, from, "two") {
+		t.Error("fallthrough must stop at the next case, not chain to case 2")
+	}
+	if !hasCallTo(g, from, "done") {
+		t.Error("case 1's body must still fall out to done()")
+	}
+}
+
+func TestFallthroughInNestedSwitchTargetsInnerCase(t *testing.T) {
+	// A fallthrough that is the final statement of an inner switch's
+	// case must transfer to the inner switch's next case — never to the
+	// enclosing switch's next case, even though the enclosing ctx also
+	// carries a fallthrough target on the stack.
+	src := `package p
+func f(a, b int) {
+	switch a {
+	case 0:
+		switch b {
+		case 0:
+			inner0()
+			fallthrough
+		case 1:
+			inner1()
+		}
+		after()
+	case 1:
+		outer1()
+	}
+	done()
+}
+func inner0() {}
+func inner1() {}
+func after()  {}
+func outer1() {}
+func done()   {}`
+	_, g := buildFunc(t, src, "f")
+	from := reachableFrom(blockOf(t, g, "inner0"))
+	if !hasCallTo(g, from, "inner1") {
+		t.Error("inner fallthrough must reach the inner next case")
+	}
+	if hasCallTo(g, from, "outer1") {
+		t.Error("inner fallthrough leaked to the outer switch's next case")
+	}
+	if !hasCallTo(g, from, "after") {
+		t.Error("inner switch must fall out to after()")
+	}
+}
+
+func TestLabeledBreakExitsOuterLoop(t *testing.T) {
+	src := `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				neg()
+				break outer
+			}
+			use(v)
+		}
+		rowDone()
+	}
+	done()
+}
+func neg()     {}
+func use(int)  {}
+func rowDone() {}
+func done()    {}`
+	_, g := buildFunc(t, src, "f")
+	from := reachableFrom(blockOf(t, g, "neg"))
+	if hasCallTo(g, from, "rowDone") {
+		t.Error("break outer must skip the outer loop's tail")
+	}
+	if hasCallTo(g, from, "use") {
+		t.Error("break outer must not re-enter the inner loop body")
+	}
+	if !hasCallTo(g, from, "done") {
+		t.Error("break outer must reach the statement after the outer loop")
+	}
+}
+
+func TestLabeledBreakDistinguishesSwitchFromLoop(t *testing.T) {
+	// Inside a switch nested in a loop, `break sw` (labeling the
+	// switch) resumes the loop body; `break loop` leaves the loop.
+	src := `package p
+func f(n int) {
+loop:
+	for i := 0; i < n; i++ {
+	sw:
+		switch {
+		case i == 1:
+			swBrk()
+			break sw
+		case i == 2:
+			loopBrk()
+			break loop
+		}
+		tail(i)
+	}
+	done()
+}
+func swBrk()   {}
+func loopBrk() {}
+func tail(int) {}
+func done()    {}`
+	_, g := buildFunc(t, src, "f")
+	fromSw := reachableFrom(blockOf(t, g, "swBrk"))
+	if !hasCallTo(g, fromSw, "tail") {
+		t.Error("break sw must resume the loop body after the switch")
+	}
+	fromLoop := reachableFrom(blockOf(t, g, "loopBrk"))
+	if hasCallTo(g, fromLoop, "tail") {
+		t.Error("break loop must not fall into the loop body tail")
+	}
+	if !hasCallTo(g, fromLoop, "done") {
+		t.Error("break loop must reach the statement after the loop")
+	}
+}
+
+func TestLabeledContinueFromSwitchHitsLoopPost(t *testing.T) {
+	// `continue outer` from inside a switch must transfer to the outer
+	// loop's post statement (the i++ block), not to the switch's done
+	// block or the loop body tail.
+	src := `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		switch {
+		case i%2 == 0:
+			mark(i)
+			continue outer
+		}
+		tail(i)
+	}
+}
+func mark(int) {}
+func tail(int) {}`
+	_, g := buildFunc(t, src, "f")
+	markBlk := blockOf(t, g, "mark")
+	if len(markBlk.Succs) != 1 {
+		t.Fatalf("continue block has %d successors, want 1", len(markBlk.Succs))
+	}
+	post := markBlk.Succs[0].To
+	foundInc := false
+	for _, n := range post.Nodes {
+		if _, ok := n.(*ast.IncDecStmt); ok {
+			foundInc = true
+		}
+	}
+	if !foundInc {
+		t.Error("continue outer must target the loop's post (i++) block")
+	}
+}
+
+func TestGotoIntoLoopBody(t *testing.T) {
+	// A backward goto into a loop body gives the loop a second entry
+	// (an irreducible region). The parser accepts it even where the
+	// type checker would not, and the dominance machinery layered on
+	// the CFG must see a well-formed graph: every edge targets a
+	// listed block and both entries reach the body.
+	src := `package p
+func f(n int) {
+	i := 0
+	for i < n {
+		top(i)
+	mid:
+		middle(i)
+		i++
+	}
+	if i == 0 {
+		goto mid
+	}
+	done()
+}
+func top(int)    {}
+func middle(int) {}
+func done()      {}`
+	_, g := buildFunc(t, src, "f")
+	idx := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		idx[b] = true
+	}
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if !idx[e.To] {
+				t.Fatalf("edge from block %d targets unlisted block", b.Index)
+			}
+		}
+	}
+	reach := reachable(g)
+	for _, name := range []string{"top", "middle", "done"} {
+		if !hasCallTo(g, reach, name) {
+			t.Errorf("%s() should be reachable", name)
+		}
+	}
+	// The goto edge must land on the labeled block, skipping top(i).
+	var gotoBlk *Block
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			if be, ok := e.Cond.(*ast.BinaryExpr); ok && be.Op == token.EQL && e.Taken {
+				gotoBlk = e.To
+			}
+		}
+	}
+	if gotoBlk == nil {
+		t.Fatal("no true edge for the i == 0 condition")
+	}
+	from := reachableFrom(gotoBlk)
+	if !hasCallTo(g, from, "middle") {
+		t.Error("goto mid must reach the labeled statement")
+	}
+}
+
+func TestGotoForwardIntoLoopBodyResolvesLate(t *testing.T) {
+	// A forward goto whose label appears later inside a loop body is
+	// pending when first seen and must be resolved to the real label
+	// block at New() time, not to the exit fallback.
+	src := `package p
+func f(n int) {
+	goto mid
+	for i := 0; i < n; i++ {
+		top(i)
+	mid:
+		middle(i)
+	}
+	done()
+}
+func top(int)    {}
+func middle(int) {}
+func done()      {}`
+	_, g := buildFunc(t, src, "f")
+	reach := reachable(g)
+	if !hasCallTo(g, reach, "middle") {
+		t.Error("forward goto into the loop body must reach middle()")
+	}
+	if !hasCallTo(g, reach, "top") {
+		t.Error("top() is reachable via the loop back edge")
+	}
+	if !reach[g.Exit] {
+		t.Error("exit should be reachable")
+	}
+}
+
 func TestEveryEdgeTargetsListedBlock(t *testing.T) {
 	src := `package p
 func f(n int) {

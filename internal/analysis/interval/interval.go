@@ -1,0 +1,1136 @@
+// Package interval is the numeric layer of the analysis framework: an
+// interval-domain abstract interpreter over the SSA form of
+// internal/analysis/ssa, in the classic value-range-analysis tradition
+// (widening to a fixpoint, then bounded narrowing). It answers the
+// question the path- and effect-level layers cannot: what integer
+// values can this expression take?
+//
+// The domain is a single interval [Lo, Hi] of int64 bounds with
+// saturating arithmetic; math.MinInt64 and math.MaxInt64 double as
+// -∞/+∞ sentinels, and unsigned values above MaxInt64 collapse to +∞
+// (every bound the packed CFP-tree formats care about — 40-bit
+// pointers, 32-bit ranks, 24-bit counts — sits far below 2^63).
+// Arithmetic that can leave the value's type range abandons the
+// computed interval for the full type range, which soundly models
+// Go's wrapping semantics without tracking wrapped shapes.
+//
+// An interval may additionally carry one symbolic upper bound,
+// "≤ len(S)+k", where S is a specific SSA version of a slice
+// variable. Refining through `i < len(b)` records the bound against
+// the version of b the comparison read, so a bounds certifier can
+// later check that the indexing site still sees the same version —
+// reassigning the slice invalidates the bound by construction.
+//
+// Transfer functions cover arithmetic, shifts, masks, bitwise ops,
+// conversions, len/cap, the min/max builtins, range-loop bindings, and
+// branch/assert refinements (via the ssa package's Refine values,
+// including the debugchecks assertion convention). Calls resolve
+// through the rangefacts layer: the Facts analyzer in this package
+// publishes each function's provable result ranges bottom-up over the
+// call graph, mirroring the summary layer's architecture, so a
+// caller's intervals tighten through calls like ParentFields without
+// inlining.
+package interval
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/callgraph"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/ssa"
+)
+
+// Inf and NegInf are the saturating bound sentinels.
+const (
+	Inf    = math.MaxInt64
+	NegInf = math.MinInt64
+)
+
+// A SymBound is a symbolic upper bound: value ≤ len(Len) + Off, valid
+// for the specific SSA version Len of a slice/string variable.
+type SymBound struct {
+	Len *ssa.Value
+	Off int64
+}
+
+// An Interval is one value range. The zero Interval is empty.
+type Interval struct {
+	Lo, Hi int64
+	// Sym, when non-nil, additionally bounds the value from above by
+	// len of a slice version (see SymBound).
+	Sym *SymBound
+}
+
+// Top is the unconstrained interval.
+func Top() Interval { return Interval{Lo: NegInf, Hi: Inf} }
+
+// Empty reports whether the interval contains no values (an
+// unreachable computation).
+func (i Interval) Empty() bool { return i.Lo > i.Hi }
+
+// In reports whether every value of the non-empty interval lies in
+// [lo, hi].
+func (i Interval) In(lo, hi int64) bool {
+	return !i.Empty() && i.Lo >= lo && i.Hi <= hi
+}
+
+// Const returns the single value of a singleton interval.
+func (i Interval) Const() (int64, bool) {
+	if i.Lo == i.Hi && !i.Empty() {
+		return i.Lo, true
+	}
+	return 0, false
+}
+
+func (i Interval) String() string {
+	if i.Empty() {
+		return "∅"
+	}
+	s := "["
+	if i.Lo == NegInf {
+		s += "-∞"
+	} else {
+		s += fmt.Sprint(i.Lo)
+	}
+	s += ", "
+	if i.Hi == Inf {
+		s += "+∞"
+	} else {
+		s += fmt.Sprint(i.Hi)
+	}
+	s += "]"
+	if i.Sym != nil {
+		s += fmt.Sprintf("∧≤len+%d", i.Sym.Off)
+	}
+	return s
+}
+
+func (i Interval) equal(o Interval) bool {
+	if i.Empty() && o.Empty() {
+		return true
+	}
+	if i.Lo != o.Lo || i.Hi != o.Hi {
+		return false
+	}
+	if (i.Sym == nil) != (o.Sym == nil) {
+		return false
+	}
+	return i.Sym == nil || (i.Sym.Len == o.Sym.Len && i.Sym.Off == o.Sym.Off)
+}
+
+// contains reports whether o ⊆ i, ignoring symbolic bounds.
+func (i Interval) contains(o Interval) bool {
+	return o.Empty() || (i.Lo <= o.Lo && o.Hi <= i.Hi)
+}
+
+// ---- saturating bound arithmetic -----------------------------------
+
+// negSat negates a bound, swapping the sentinels.
+func negSat(x int64) int64 {
+	switch x {
+	case Inf:
+		return NegInf
+	case NegInf:
+		return Inf
+	}
+	return -x
+}
+
+// addLo adds two lower-bound corners; ambiguity resolves downward.
+func addLo(a, b int64) int64 {
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	s := a + b
+	if a > 0 && b > 0 && s <= 0 {
+		return Inf
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return NegInf
+	}
+	return s
+}
+
+// addHi adds two upper-bound corners; ambiguity resolves upward.
+func addHi(a, b int64) int64 {
+	if a == Inf || b == Inf {
+		return Inf
+	}
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	return addLo(a, b)
+}
+
+func mulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == Inf || a == NegInf || b == Inf || b == NegInf {
+		if neg {
+			return NegInf
+		}
+		return Inf
+	}
+	p := a * b
+	if p/b != a || (a == -1 && b == NegInf) || (b == -1 && a == NegInf) {
+		if neg {
+			return NegInf
+		}
+		return Inf
+	}
+	return p
+}
+
+// ---- interval operations -------------------------------------------
+
+func add(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	out := Interval{Lo: addLo(a.Lo, b.Lo), Hi: addHi(a.Hi, b.Hi)}
+	// x + c keeps x's symbolic bound shifted by the constant.
+	if c, ok := b.Const(); ok && a.Sym != nil && c != Inf && c != NegInf {
+		out.Sym = &SymBound{Len: a.Sym.Len, Off: addHi(a.Sym.Off, c)}
+	} else if c, ok := a.Const(); ok && b.Sym != nil && c != Inf && c != NegInf {
+		out.Sym = &SymBound{Len: b.Sym.Len, Off: addHi(b.Sym.Off, c)}
+	}
+	return out
+}
+
+func sub(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	out := Interval{Lo: addLo(a.Lo, negSat(b.Hi)), Hi: addHi(a.Hi, negSat(b.Lo))}
+	if c, ok := b.Const(); ok && a.Sym != nil && c != Inf && c != NegInf {
+		out.Sym = &SymBound{Len: a.Sym.Len, Off: addHi(a.Sym.Off, -c)}
+	}
+	return out
+}
+
+func mul(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	c1 := mulSat(a.Lo, b.Lo)
+	c2 := mulSat(a.Lo, b.Hi)
+	c3 := mulSat(a.Hi, b.Lo)
+	c4 := mulSat(a.Hi, b.Hi)
+	return Interval{Lo: min(min(c1, c2), min(c3, c4)), Hi: max(max(c1, c2), max(c3, c4))}
+}
+
+func quo(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return Top() // divisor may be 0: that path panics, range-wise ⊤
+	}
+	div := func(x, y int64) int64 {
+		if y == Inf || y == NegInf {
+			return 0 // finite / ±huge truncates to 0
+		}
+		if x == Inf || x == NegInf {
+			if (x == Inf) == (y > 0) {
+				return Inf
+			}
+			return NegInf
+		}
+		return x / y
+	}
+	c1 := div(a.Lo, b.Lo)
+	c2 := div(a.Lo, b.Hi)
+	c3 := div(a.Hi, b.Lo)
+	c4 := div(a.Hi, b.Hi)
+	return Interval{Lo: min(min(c1, c2), min(c3, c4)), Hi: max(max(c1, c2), max(c3, c4))}
+}
+
+func rem(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo >= 0 && b.Lo >= 1 {
+		hi := addHi(b.Hi, -1)
+		if a.Hi < hi {
+			hi = a.Hi
+		}
+		return Interval{Lo: 0, Hi: hi}
+	}
+	return Top()
+}
+
+func shl(a, s Interval) Interval {
+	if a.Empty() || s.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo < 0 || s.Lo < 0 {
+		return Top()
+	}
+	sh := func(v, n int64) int64 {
+		if v == 0 {
+			return 0
+		}
+		if v == Inf || n >= 63 || v > Inf>>uint(n) {
+			return Inf
+		}
+		return v << uint(n)
+	}
+	return Interval{Lo: sh(a.Lo, s.Lo), Hi: sh(a.Hi, s.Hi)}
+}
+
+func shr(a, s Interval) Interval {
+	if a.Empty() || s.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo < 0 || s.Lo < 0 {
+		return Top()
+	}
+	sLo, sHi := s.Lo, s.Hi
+	if sHi > 63 {
+		sHi = 63
+	}
+	lo := a.Lo
+	if lo != Inf {
+		lo >>= uint(sHi)
+	}
+	hi := a.Hi
+	// An unsigned value above the +∞ sentinel may exceed MaxInt64>>n,
+	// so the sentinel is sticky under right shift.
+	if hi != Inf {
+		hi >>= uint(sLo)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func and(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	// x & m with m ≥ 0 lands in [0, m] whatever x's sign.
+	hi := int64(-1)
+	if a.Lo >= 0 && (hi < 0 || a.Hi < hi) {
+		hi = a.Hi
+	}
+	if b.Lo >= 0 && (hi < 0 || b.Hi < hi) {
+		hi = b.Hi
+	}
+	if hi < 0 {
+		return Top()
+	}
+	return Interval{Lo: 0, Hi: hi}
+}
+
+// maskAbove returns the smallest 2^k-1 ≥ x.
+func maskAbove(x int64) int64 {
+	if x == Inf {
+		return Inf
+	}
+	m := int64(1)
+	for m-1 < x {
+		if m > Inf/2 {
+			return Inf
+		}
+		m <<= 1
+	}
+	return m - 1
+}
+
+func bitOr(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo < 0 || b.Lo < 0 {
+		return Top()
+	}
+	return Interval{Lo: max(a.Lo, b.Lo), Hi: maskAbove(max(a.Hi, b.Hi))}
+}
+
+func bitXor(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo < 0 || b.Lo < 0 {
+		return Top()
+	}
+	return Interval{Lo: 0, Hi: maskAbove(max(a.Hi, b.Hi))}
+}
+
+func andNot(a, b Interval) Interval {
+	if a.Empty() || b.Empty() {
+		return Interval{Lo: 1, Hi: 0}
+	}
+	if a.Lo < 0 {
+		return Top()
+	}
+	return Interval{Lo: 0, Hi: a.Hi}
+}
+
+// union is the lattice join.
+func union(a, b Interval) Interval {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	out := Interval{Lo: min(a.Lo, b.Lo), Hi: max(a.Hi, b.Hi)}
+	if a.Sym != nil && b.Sym != nil && a.Sym.Len == b.Sym.Len {
+		out.Sym = &SymBound{Len: a.Sym.Len, Off: max(a.Sym.Off, b.Sym.Off)}
+	}
+	return out
+}
+
+// intersect is the lattice meet.
+func intersect(a, b Interval) Interval {
+	out := Interval{Lo: max(a.Lo, b.Lo), Hi: min(a.Hi, b.Hi)}
+	switch {
+	case a.Sym != nil && b.Sym != nil && a.Sym.Len == b.Sym.Len:
+		out.Sym = &SymBound{Len: a.Sym.Len, Off: min(a.Sym.Off, b.Sym.Off)}
+	case a.Sym != nil:
+		out.Sym = a.Sym
+	case b.Sym != nil:
+		out.Sym = b.Sym
+	}
+	return out
+}
+
+// ---- type ranges ----------------------------------------------------
+
+// TypeRange returns the representable range of an integer (or
+// boolean) type, Top for anything else.
+func TypeRange(t types.Type) Interval {
+	bt, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return Top()
+	}
+	switch bt.Kind() {
+	case types.Bool, types.UntypedBool:
+		return Interval{Lo: 0, Hi: 1}
+	case types.Int8:
+		return Interval{Lo: math.MinInt8, Hi: math.MaxInt8}
+	case types.Int16:
+		return Interval{Lo: math.MinInt16, Hi: math.MaxInt16}
+	case types.Int32:
+		return Interval{Lo: math.MinInt32, Hi: math.MaxInt32}
+	case types.Int64, types.Int, types.UntypedInt, types.UntypedRune:
+		// int is 64-bit on every platform the miner targets; the 386
+		// cross-build only checks compilation, not analysis claims.
+		return Top()
+	case types.Uint8:
+		return Interval{Lo: 0, Hi: math.MaxUint8}
+	case types.Uint16:
+		return Interval{Lo: 0, Hi: math.MaxUint16}
+	case types.Uint32:
+		return Interval{Lo: 0, Hi: math.MaxUint32}
+	case types.Uint64, types.Uint, types.Uintptr:
+		return Interval{Lo: 0, Hi: Inf}
+	}
+	return Top()
+}
+
+// fit keeps the computed interval when it is representable in the
+// type, and widens to the full type range otherwise — the sound model
+// of Go's wrapping integer arithmetic.
+func fit(iv Interval, t types.Type) Interval {
+	if t == nil || iv.Empty() {
+		return iv
+	}
+	tr := TypeRange(t)
+	if tr.contains(iv) {
+		return iv
+	}
+	return tr
+}
+
+// ---- the solver -----------------------------------------------------
+
+// A Lookuper resolves a callee's proven result range, typically from
+// rangefacts published by the Facts analyzer.
+type Lookuper interface {
+	ResultRange(fn *types.Func, result int) (Interval, bool)
+}
+
+// Result holds the fixpoint intervals of one function.
+type Result struct {
+	Fn   *ssa.Func
+	info *types.Info
+	look Lookuper
+	val  map[*ssa.Value]Interval
+}
+
+const (
+	widenAfter   = 3 // interval updates per value before widening
+	narrowPasses = 2
+)
+
+// Analyze runs the interval fixpoint over fn. look may be nil.
+func Analyze(fn *ssa.Func, info *types.Info, look Lookuper) *Result {
+	r := &Result{Fn: fn, info: info, look: look, val: make(map[*ssa.Value]Interval, len(fn.Values))}
+	inQ := make([]bool, len(fn.Values))
+	queue := make([]*ssa.Value, 0, len(fn.Values))
+	push := func(v *ssa.Value) {
+		if !inQ[v.ID] {
+			inQ[v.ID] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, v := range fn.Values {
+		// Optimistic init: unsolved values read as bottom so loop
+		// cycles climb from below instead of self-justifying at ⊤.
+		r.val[v] = Interval{Lo: 1, Hi: 0}
+		push(v)
+	}
+	bumps := make(map[*ssa.Value]int)
+	budget := 64*len(fn.Values) + 1024
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			// Runaway fixpoint: give up soundly on the whole function.
+			for _, v := range fn.Values {
+				r.val[v] = TypeRange(v.Var.Type())
+			}
+			return r
+		}
+		v := queue[0]
+		queue = queue[1:]
+		inQ[v.ID] = false
+		nv := r.transfer(v)
+		old, seen := r.val[v]
+		// Join with the previous value: the ascending phase must be
+		// monotone regardless of transfer quirks (wrapping fit, refines
+		// whose inputs momentarily shrink), or chaotic iteration can
+		// oscillate until the budget trips and the whole function decays
+		// to type ranges. Narrowing below recovers the precision.
+		if seen {
+			nv = union(old, nv)
+		}
+		if seen && nv.equal(old) {
+			continue
+		}
+		if seen {
+			if bumps[v]++; bumps[v] > widenAfter {
+				nv = widen(old, nv, TypeRange(v.Var.Type()))
+			}
+		}
+		r.val[v] = nv
+		for _, u := range fn.Uses[v] {
+			push(u)
+		}
+	}
+	// Bounded narrowing: recompute descending from the widened
+	// fixpoint; keep a recomputation only when it shrinks the value.
+	for pass := 0; pass < narrowPasses; pass++ {
+		for _, v := range fn.Values {
+			nv := r.transfer(v)
+			if r.val[v].contains(nv) {
+				r.val[v] = nv
+			}
+		}
+	}
+	return r
+}
+
+// widen jumps a growing bound to its type extreme so loops converge.
+func widen(old, nv Interval, tr Interval) Interval {
+	if old.Empty() {
+		return nv
+	}
+	out := nv
+	if nv.Lo < old.Lo {
+		out.Lo = tr.Lo
+	}
+	if nv.Hi > old.Hi {
+		out.Hi = tr.Hi
+	}
+	return out
+}
+
+// Value returns the interval of one SSA value.
+func (r *Result) Value(v *ssa.Value) Interval {
+	if v == nil {
+		return Top()
+	}
+	iv, ok := r.val[v]
+	if !ok {
+		return TypeRange(v.Var.Type())
+	}
+	return iv
+}
+
+// Eval evaluates an expression at its source position, resolving
+// identifier uses through the SSA form. Expressions in unreachable
+// code evaluate to the type range.
+func (r *Result) Eval(e ast.Expr) Interval {
+	return r.eval(e)
+}
+
+// transfer computes one value's interval from its origin.
+func (r *Result) transfer(v *ssa.Value) Interval {
+	t := v.Var.Type()
+	switch v.Kind {
+	case ssa.Param, ssa.Unknown:
+		return TypeRange(t)
+	case ssa.ZeroInit:
+		if bt, ok := t.Underlying().(*types.Basic); ok && bt.Info()&(types.IsInteger|types.IsBoolean) != 0 {
+			return Interval{Lo: 0, Hi: 0}
+		}
+		return Top()
+	case ssa.Phi:
+		out := Interval{Lo: 1, Hi: 0}
+		for _, a := range v.Args {
+			if a == nil {
+				continue // unreachable predecessor
+			}
+			out = union(out, r.Value(a))
+		}
+		return out
+	case ssa.Refine:
+		return r.refine(r.Value(v.X), v.Var, v.Cond, v.Taken)
+	case ssa.Def:
+		return fit(r.defTransfer(v), t)
+	}
+	return TypeRange(t)
+}
+
+func (r *Result) defTransfer(v *ssa.Value) Interval {
+	t := v.Var.Type()
+	switch {
+	case v.Op == token.INC:
+		return add(r.Value(v.X), Interval{Lo: 1, Hi: 1})
+	case v.Op == token.DEC:
+		return sub(r.Value(v.X), Interval{Lo: 1, Hi: 1})
+	case v.Op != token.ILLEGAL: // x op= e
+		return r.binop(assignOp(v.Op), r.Value(v.X), r.eval(v.Expr))
+	case v.Range != nil:
+		return r.rangeTransfer(v)
+	case v.Call != nil:
+		if fn := analysis.Callee(r.info, v.Call); fn != nil && r.look != nil {
+			if iv, ok := r.look.ResultRange(fn, v.Index); ok {
+				return iv
+			}
+		}
+		return TypeRange(t)
+	case v.Expr != nil:
+		return r.eval(v.Expr)
+	}
+	return TypeRange(t) // opaque definition
+}
+
+func (r *Result) rangeTransfer(v *ssa.Value) Interval {
+	if v.Role != ssa.RangeIndex {
+		return TypeRange(v.Var.Type())
+	}
+	x := v.Range.X
+	tv, ok := r.info.Types[x]
+	if !ok {
+		return Interval{Lo: 0, Hi: Inf}
+	}
+	ut := tv.Type.Underlying()
+	if p, ok := ut.(*types.Pointer); ok {
+		ut = p.Elem().Underlying()
+	}
+	switch ut := ut.(type) {
+	case *types.Array:
+		return Interval{Lo: 0, Hi: ut.Len() - 1}
+	case *types.Basic:
+		if ut.Info()&types.IsInteger != 0 { // range over int: [0, n-1]
+			n := r.eval(x)
+			return Interval{Lo: 0, Hi: addHi(n.Hi, -1)}
+		}
+	}
+	iv := Interval{Lo: 0, Hi: Inf}
+	if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+		if lv, ok := r.Fn.UseOf[id]; ok {
+			iv.Sym = &SymBound{Len: lv, Off: -1}
+		}
+	}
+	return iv
+}
+
+// assignOp maps an op-assignment token to its binary operator.
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}
+
+func (r *Result) binop(op token.Token, a, b Interval) Interval {
+	switch op {
+	case token.ADD:
+		return add(a, b)
+	case token.SUB:
+		return sub(a, b)
+	case token.MUL:
+		return mul(a, b)
+	case token.QUO:
+		return quo(a, b)
+	case token.REM:
+		return rem(a, b)
+	case token.AND:
+		return and(a, b)
+	case token.OR:
+		return bitOr(a, b)
+	case token.XOR:
+		return bitXor(a, b)
+	case token.AND_NOT:
+		return andNot(a, b)
+	case token.SHL:
+		return shl(a, b)
+	case token.SHR:
+		return shr(a, b)
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ,
+		token.LAND, token.LOR:
+		return Interval{Lo: 0, Hi: 1}
+	}
+	return Top()
+}
+
+// eval computes an expression's interval bottom-up.
+func (r *Result) eval(e ast.Expr) Interval {
+	if e == nil {
+		return Top()
+	}
+	// Constants first: named constants, folded expressions, literals.
+	if tv, ok := r.info.Types[e]; ok && tv.Value != nil {
+		if iv, ok := constInterval(tv.Value); ok {
+			return iv
+		}
+	}
+	etype := func() types.Type {
+		if tv, ok := r.info.Types[e]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return r.eval(e.X)
+	case *ast.Ident:
+		if v, ok := r.Fn.UseOf[e]; ok {
+			return r.Value(v)
+		}
+		if t := etype(); t != nil {
+			return TypeRange(t)
+		}
+		return Top()
+	case *ast.BinaryExpr:
+		out := r.binop(e.Op, r.eval(e.X), r.eval(e.Y))
+		return fit(out, etype())
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			x := r.eval(e.X)
+			if x.Empty() {
+				return x
+			}
+			return fit(Interval{Lo: negSat(x.Hi), Hi: negSat(x.Lo)}, etype())
+		case token.ADD:
+			return r.eval(e.X)
+		}
+		if t := etype(); t != nil {
+			return TypeRange(t)
+		}
+		return Top()
+	case *ast.CallExpr:
+		return r.evalCall(e, etype())
+	}
+	if t := etype(); t != nil {
+		return TypeRange(t)
+	}
+	return Top()
+}
+
+func (r *Result) evalCall(call *ast.CallExpr, t types.Type) Interval {
+	// Conversion T(x): keep x's interval when it fits, else the target
+	// type's range (wrapping model).
+	if tv, ok := r.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		x := r.eval(call.Args[0])
+		return fit(x, tv.Type)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := r.info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len":
+				return r.evalLen(call)
+			case "cap":
+				return Interval{Lo: 0, Hi: Inf}
+			case "min":
+				out := r.eval(call.Args[0])
+				for _, a := range call.Args[1:] {
+					o := r.eval(a)
+					out = Interval{Lo: min(out.Lo, o.Lo), Hi: min(out.Hi, o.Hi)}
+				}
+				return out
+			case "max":
+				out := r.eval(call.Args[0])
+				for _, a := range call.Args[1:] {
+					o := r.eval(a)
+					out = Interval{Lo: max(out.Lo, o.Lo), Hi: max(out.Hi, o.Hi)}
+				}
+				return out
+			}
+		}
+	}
+	if fn := analysis.Callee(r.info, call); fn != nil && r.look != nil {
+		if iv, ok := r.look.ResultRange(fn, 0); ok {
+			return iv
+		}
+	}
+	if t != nil {
+		return TypeRange(t)
+	}
+	return Top()
+}
+
+// evalLen gives len(x) its symbolic identity when x is a tracked
+// slice/string variable, and the exact length for arrays.
+func (r *Result) evalLen(call *ast.CallExpr) Interval {
+	arg := ast.Unparen(call.Args[0])
+	if tv, ok := r.info.Types[arg]; ok {
+		ut := tv.Type.Underlying()
+		if p, ok := ut.(*types.Pointer); ok {
+			ut = p.Elem().Underlying()
+		}
+		if at, ok := ut.(*types.Array); ok {
+			return Interval{Lo: at.Len(), Hi: at.Len()}
+		}
+	}
+	iv := Interval{Lo: 0, Hi: Inf}
+	if id, ok := arg.(*ast.Ident); ok {
+		if v, ok := r.Fn.UseOf[id]; ok {
+			iv.Sym = &SymBound{Len: v, Off: 0}
+		}
+	}
+	return iv
+}
+
+func constInterval(v constant.Value) (Interval, bool) {
+	switch v.Kind() {
+	case constant.Bool:
+		if constant.BoolVal(v) {
+			return Interval{Lo: 1, Hi: 1}, true
+		}
+		return Interval{Lo: 0, Hi: 0}, true
+	case constant.Int:
+		if c, exact := constant.Int64Val(v); exact {
+			return Interval{Lo: c, Hi: c}, true
+		}
+		if constant.Sign(v) > 0 {
+			return Interval{Lo: Inf, Hi: Inf}, true // ≥ MaxInt64
+		}
+		return Interval{Lo: NegInf, Hi: NegInf}, true
+	}
+	return Interval{}, false
+}
+
+// ---- branch refinement ---------------------------------------------
+
+// negateCmp flips a comparison operator to its complement.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+// mirrorCmp rewrites `e op x` as `x op' e`.
+func mirrorCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+func (r *Result) mentionsVar(e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && r.info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// refine narrows iv by one atomic condition outcome for variable v.
+func (r *Result) refine(iv Interval, v *types.Var, cond ast.Expr, taken bool) Interval {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.Ident:
+		if r.info.Uses[c] == v { // boolean flag test
+			if taken {
+				return intersect(iv, Interval{Lo: 1, Hi: 1})
+			}
+			return intersect(iv, Interval{Lo: 0, Hi: 0})
+		}
+	case *ast.BinaryExpr:
+		op := c.Op
+		switch op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return iv
+		}
+		lhs, rhs := c.X, c.Y
+		onLeft := r.mentionsVar(lhs, v)
+		onRight := r.mentionsVar(rhs, v)
+		if onLeft == onRight {
+			return iv // both sides or neither: nothing safe to conclude
+		}
+		var other ast.Expr
+		if onLeft {
+			// Only refine a bare (possibly parenthesized) use; `x-1 < e`
+			// constrains x-1, not x.
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || r.info.Uses[id] != v {
+				return iv
+			}
+			other = rhs
+		} else {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); !ok || r.info.Uses[id] != v {
+				return iv
+			}
+			other = lhs
+			op = mirrorCmp(op)
+		}
+		if !taken {
+			op = negateCmp(op)
+		}
+		return applyCmp(iv, op, r.eval(other))
+	}
+	return iv
+}
+
+// applyCmp narrows iv knowing `value op o` holds.
+func applyCmp(iv Interval, op token.Token, o Interval) Interval {
+	if o.Empty() {
+		return iv
+	}
+	switch op {
+	case token.LSS:
+		out := intersect(iv, Interval{Lo: NegInf, Hi: addHi(o.Hi, -1)})
+		if o.Sym != nil {
+			out = intersect(out, Interval{Lo: NegInf, Hi: Inf,
+				Sym: &SymBound{Len: o.Sym.Len, Off: addHi(o.Sym.Off, -1)}})
+		}
+		return out
+	case token.LEQ:
+		out := intersect(iv, Interval{Lo: NegInf, Hi: o.Hi})
+		if o.Sym != nil {
+			out = intersect(out, Interval{Lo: NegInf, Hi: Inf, Sym: o.Sym})
+		}
+		return out
+	case token.GTR:
+		return intersect(iv, Interval{Lo: addLo(o.Lo, 1), Hi: Inf})
+	case token.GEQ:
+		return intersect(iv, Interval{Lo: o.Lo, Hi: Inf})
+	case token.EQL:
+		return intersect(iv, o)
+	case token.NEQ:
+		if c, ok := o.Const(); ok && !iv.Empty() {
+			if c == iv.Lo && iv.Lo != NegInf {
+				return Interval{Lo: iv.Lo + 1, Hi: iv.Hi, Sym: iv.Sym}
+			}
+			if c == iv.Hi && iv.Hi != Inf {
+				return Interval{Lo: iv.Lo, Hi: iv.Hi - 1, Sym: iv.Sym}
+			}
+		}
+	}
+	return iv
+}
+
+// ---- the rangefacts producer ---------------------------------------
+
+// Rng is the flat (version-free) serialization of an interval inside a
+// fact.
+type Rng struct {
+	Lo, Hi int64
+}
+
+// ResultRanges is the per-function fact: the proven range of each
+// result, in signature order. A slot equal to its type range proves
+// nothing and is still recorded so indices line up.
+type ResultRanges struct {
+	Results []Rng
+}
+
+// AFact marks ResultRanges as a fact type.
+func (*ResultRanges) AFact() {}
+
+// Facts is the rangefacts analyzer: a reporting-free producer that
+// publishes every declared function's provable result ranges,
+// bottom-up over the package call graph (SCCs in callees-first order,
+// mirroring the summary layer), so interval analyses in callers
+// tighten through calls.
+var Facts = &analysis.Analyzer{
+	Name:      "rangefacts",
+	Doc:       "publish per-function result ranges for the interval layer (no findings of its own)",
+	FactTypes: []analysis.Fact{new(ResultRanges)},
+	Run:       runFacts,
+}
+
+// factLookuper resolves callee result ranges from the fact store,
+// with an in-flight overlay for same-SCC callees.
+type factLookuper struct {
+	pass  *analysis.Pass
+	local map[*types.Func][]Rng
+}
+
+func (l *factLookuper) ResultRange(fn *types.Func, result int) (Interval, bool) {
+	if rs, ok := l.local[fn]; ok {
+		if result < len(rs) {
+			return Interval{Lo: rs[result].Lo, Hi: rs[result].Hi}, true
+		}
+		return Interval{}, false
+	}
+	var fact ResultRanges
+	if l.pass.ImportObjectFact(fn, &fact) && result < len(fact.Results) {
+		return Interval{Lo: fact.Results[result].Lo, Hi: fact.Results[result].Hi}, true
+	}
+	return Interval{}, false
+}
+
+// PassLookuper adapts a pass's imported rangefacts for analyzers that
+// require Facts.
+func PassLookuper(pass *analysis.Pass) Lookuper {
+	return &factLookuper{pass: pass, local: map[*types.Func][]Rng{}}
+}
+
+func runFacts(pass *analysis.Pass) error {
+	cg := callgraph.New(pass.Files, pass.TypesInfo)
+	look := &factLookuper{pass: pass, local: map[*types.Func][]Rng{}}
+	for _, scc := range cg.SCCs() {
+		// Two rounds per component: the first computes each function
+		// against already-published callee facts (recursive callees
+		// resolve to their type ranges — sound), the second narrows
+		// through the first round's in-component results.
+		for round := 0; round < 2; round++ {
+			for _, node := range scc {
+				look.local[node.Fn] = resultRanges(pass, node.Decl, look)
+			}
+		}
+	}
+	for fn, rs := range look.local {
+		if rs == nil {
+			continue
+		}
+		// Publish only informative facts: at least one result tighter
+		// than its type range.
+		sig := fn.Type().(*types.Signature)
+		informative := false
+		for i := 0; i < sig.Results().Len() && i < len(rs); i++ {
+			tr := TypeRange(sig.Results().At(i).Type())
+			if rs[i].Lo > tr.Lo || rs[i].Hi < tr.Hi {
+				informative = true
+			}
+		}
+		if informative {
+			pass.ExportObjectFact(fn, &ResultRanges{Results: rs})
+		}
+	}
+	return nil
+}
+
+// resultRanges computes the joined interval of each result over every
+// reachable return statement, nil when nothing is provable.
+func resultRanges(pass *analysis.Pass, fd *ast.FuncDecl, look Lookuper) []Rng {
+	sig, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	nres := sig.Type().(*types.Signature).Results().Len()
+	if nres == 0 {
+		return nil
+	}
+	g := cfg.New(fd.Body)
+	fn := ssa.Build(fd, g, pass.TypesInfo)
+	res := Analyze(fn, pass.TypesInfo, look)
+
+	out := make([]Interval, nres)
+	for i := range out {
+		out[i] = Interval{Lo: 1, Hi: 0} // bottom: no return seen yet
+	}
+	for _, blk := range g.Blocks {
+		if !fn.Reachable(blk) {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			if len(ret.Results) != nres {
+				// Bare return of named results (or a tuple-forwarding
+				// return): versions at the return are not recoverable
+				// here, so results are unconstrained.
+				for i := range out {
+					out[i] = union(out[i], TypeRange(sigResult(sig, i)))
+				}
+				continue
+			}
+			for i, e := range ret.Results {
+				out[i] = union(out[i], fit(res.Eval(e), sigResult(sig, i)))
+			}
+		}
+	}
+	rs := make([]Rng, nres)
+	for i, iv := range out {
+		if iv.Empty() { // no reachable return: function never returns
+			iv = TypeRange(sigResult(sig, i))
+		}
+		rs[i] = Rng{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	return rs
+}
+
+func sigResult(fn *types.Func, i int) types.Type {
+	return fn.Type().(*types.Signature).Results().At(i).Type()
+}

@@ -1,0 +1,393 @@
+package interval
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/ssa"
+)
+
+// analyzeFn typechecks src and runs the interval solver on the named
+// function.
+func analyzeFn(t *testing.T, src, name string, look Lookuper) (*ast.FuncDecl, *ssa.Func, *Result) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			fn := ssa.Build(fd, cfg.New(fd.Body), info)
+			return fd, fn, Analyze(fn, info, look)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil, nil
+}
+
+// useIval returns the interval of the n-th resolved use (0-based,
+// source order) of the named identifier.
+func useIval(t *testing.T, fd *ast.FuncDecl, fn *ssa.Func, res *Result, name string, n int) Interval {
+	t.Helper()
+	v := useVal(t, fd, fn, name, n)
+	return res.Value(v)
+}
+
+func useVal(t *testing.T, fd *ast.FuncDecl, fn *ssa.Func, name string, n int) *ssa.Value {
+	t.Helper()
+	var vals []*ssa.Value
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			if v, ok := fn.UseOf[id]; ok {
+				vals = append(vals, v)
+			}
+		}
+		return true
+	})
+	if n >= len(vals) {
+		t.Fatalf("ident %q has %d resolved uses, want at least %d", name, len(vals), n+1)
+	}
+	return vals[n]
+}
+
+func wantRange(t *testing.T, iv Interval, lo, hi int64) {
+	t.Helper()
+	if iv.Lo != lo || iv.Hi != hi {
+		t.Errorf("interval = %v, want [%d, %d]", iv, lo, hi)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `package p
+func f() int {
+	x := 3
+	y := x + 4
+	return y * 2
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "y", 0), 7, 7)
+}
+
+func TestGuardRefinement(t *testing.T) {
+	src := `package p
+func f(i int) int {
+	if i >= 0 && i < 10 {
+		return i
+	}
+	return 0
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	// i inside the guard: both conjuncts applied.
+	wantRange(t, useIval(t, fd, fn, res, "i", 2), 0, 9)
+}
+
+func TestNegativeGuardRefinement(t *testing.T) {
+	src := `package p
+func f(i int) int {
+	if i < 0 {
+		return 0
+	}
+	return i
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	// i after the early return: the false edge of i < 0.
+	iv := useIval(t, fd, fn, res, "i", 1)
+	if iv.Lo != 0 || iv.Hi != Inf {
+		t.Errorf("post-guard i = %v, want [0, +∞]", iv)
+	}
+}
+
+func TestLoopWideningAndNarrowing(t *testing.T) {
+	src := `package p
+func f() int {
+	s := 0
+	for i := 0; i < 10; i++ {
+		s = i
+	}
+	return s
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	// i inside the body (RHS of s = i): refined by the loop condition.
+	wantRange(t, useIval(t, fd, fn, res, "i", 1), 0, 9)
+}
+
+func TestPostLoopCursorValue(t *testing.T) {
+	src := `package p
+func f() int {
+	i := 0
+	for i < 10 {
+		i++
+	}
+	return i
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	// After the loop, i is exactly 10: phi ⊆ [0,10] meets ¬(i<10).
+	wantRange(t, useIval(t, fd, fn, res, "i", 2), 10, 10)
+}
+
+func TestSymbolicLenBound(t *testing.T) {
+	src := `package p
+func f(b []byte, i int) byte {
+	if i >= 0 && i < len(b) {
+		return b[i]
+	}
+	return 0
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	iv := useIval(t, fd, fn, res, "i", 2) // i in b[i]
+	if iv.Lo != 0 {
+		t.Errorf("guarded index lower bound = %d, want 0", iv.Lo)
+	}
+	if iv.Sym == nil {
+		t.Fatal("guarded index lost its symbolic len bound")
+	}
+	if iv.Sym.Off != -1 {
+		t.Errorf("symbolic offset = %d, want -1 (strict <)", iv.Sym.Off)
+	}
+	// The bound must name the same slice version the index reads.
+	bIdx := useVal(t, fd, fn, "b", 1) // b in b[i]
+	if iv.Sym.Len != bIdx {
+		t.Error("symbolic bound is against a different version of b than the index site")
+	}
+}
+
+func TestSymbolicBoundSurvivesDecrement(t *testing.T) {
+	src := `package p
+func f(b []byte, i int) byte {
+	if i >= 1 && i <= len(b) {
+		j := i - 1
+		return b[j]
+	}
+	return 0
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	iv := useIval(t, fd, fn, res, "j", 0)
+	if iv.Lo != 0 {
+		t.Errorf("j lower bound = %d, want 0", iv.Lo)
+	}
+	if iv.Sym == nil || iv.Sym.Off != -1 {
+		t.Errorf("j = %v, want symbolic ≤ len-1 carried through the -1", iv)
+	}
+}
+
+func TestMaskAndShift(t *testing.T) {
+	src := `package p
+func f(x uint64) uint64 {
+	m := x & 0xFF
+	s := m << 4
+	r := x >> 32
+	return m + s + r
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "m", 1), 0, 255)
+	wantRange(t, useIval(t, fd, fn, res, "s", 0), 0, 255<<4)
+	// Unsigned values above MaxInt64 saturate: a right shift of an
+	// unbounded uint64 keeps the +∞ sentinel.
+	iv := useIval(t, fd, fn, res, "r", 0)
+	if iv.Lo != 0 || iv.Hi != Inf {
+		t.Errorf("x >> 32 = %v, want [0, +∞] (sticky sentinel)", iv)
+	}
+}
+
+func TestShiftAmountRefinement(t *testing.T) {
+	src := `package p
+func f(x uint64, n uint) uint64 {
+	if n < 8 {
+		return x << n
+	}
+	return 0
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "n", 1), 0, 7)
+}
+
+func TestConversionWrapModel(t *testing.T) {
+	src := `package p
+func f(x int, y int) byte {
+	var a byte
+	if x >= 0 && x < 100 {
+		a = byte(x)
+	}
+	b := byte(y)
+	_ = b
+	return a
+}`
+	fd, _, res := analyzeFn(t, src, "f", nil)
+	// Proven-fitting conversion keeps the range; unproven one widens
+	// to the target type's full range.
+	var conv []ast.Expr
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if c, ok := m.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "byte" {
+				conv = append(conv, c)
+			}
+		}
+		return true
+	})
+	if len(conv) != 2 {
+		t.Fatalf("found %d byte conversions, want 2", len(conv))
+	}
+	wantRange(t, res.Eval(conv[0]), 0, 99)
+	wantRange(t, res.Eval(conv[1]), 0, 255)
+}
+
+func TestSubtractionWrapsUnsigned(t *testing.T) {
+	src := `package p
+func f(x uint32) uint32 {
+	y := x - 1
+	return y
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	// x may be 0, so x-1 wraps: the sound answer is the full uint32
+	// range, not [-1, ...].
+	wantRange(t, useIval(t, fd, fn, res, "y", 0), 0, 1<<32-1)
+}
+
+func TestAssertRefinementFeedsIntervals(t *testing.T) {
+	src := `package p
+const debugChecks = false
+func assertf(cond bool, msg string) {}
+func f(d uint64) uint64 {
+	if debugChecks {
+		assertf(d >= 1 && d <= 100, "range")
+	}
+	return d
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "d", 2), 1, 100)
+}
+
+func TestMinMaxBuiltins(t *testing.T) {
+	src := `package p
+func f(a, b int) int {
+	x := min(a, 10)
+	y := max(b, 0)
+	return x + y
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	iv := useIval(t, fd, fn, res, "x", 0)
+	if iv.Hi != 10 {
+		t.Errorf("min(a, 10) upper bound = %d, want 10", iv.Hi)
+	}
+	iv = useIval(t, fd, fn, res, "y", 0)
+	if iv.Lo != 0 {
+		t.Errorf("max(b, 0) lower bound = %d, want 0", iv.Lo)
+	}
+}
+
+func TestRangeIndexBound(t *testing.T) {
+	src := `package p
+func f(xs []int) int {
+	s := 0
+	for i := range xs {
+		s += i
+	}
+	return s
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	iv := useIval(t, fd, fn, res, "i", 0)
+	if iv.Lo != 0 || iv.Sym == nil || iv.Sym.Off != -1 {
+		t.Errorf("range index = %v, want [0,...] with symbolic ≤ len-1", iv)
+	}
+}
+
+func TestRangeOverIntBound(t *testing.T) {
+	src := `package p
+func f() int {
+	s := 0
+	for i := range 8 {
+		s += i
+	}
+	return s
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "i", 0), 0, 7)
+}
+
+func TestArrayIndexExact(t *testing.T) {
+	src := `package p
+func f(a [16]byte, i int) byte {
+	if i >= 0 && i < len(a) {
+		return a[i]
+	}
+	return 0
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "i", 2), 0, 15)
+}
+
+type stubLookup struct{ iv Interval }
+
+func (s stubLookup) ResultRange(fn *types.Func, result int) (Interval, bool) {
+	return s.iv, true
+}
+
+func TestCalleeFactTightensCall(t *testing.T) {
+	src := `package p
+func g() int
+func f() int {
+	v := g()
+	return v
+}`
+	fd, fn, res := analyzeFn(t, src, "f", stubLookup{Interval{Lo: 1, Hi: 8}})
+	wantRange(t, useIval(t, fd, fn, res, "v", 0), 1, 8)
+}
+
+func TestRemBounded(t *testing.T) {
+	src := `package p
+func f(x uint64) uint64 {
+	r := x % 8
+	return r
+}`
+	fd, fn, res := analyzeFn(t, src, "f", nil)
+	wantRange(t, useIval(t, fd, fn, res, "r", 0), 0, 7)
+}
+
+// rangeProbe reports each function's published ResultRanges fact, so
+// the fixture's want comments check the rangefacts producer end to
+// end, facts included.
+var rangeProbe = &analysis.Analyzer{
+	Name:      "rangeprobe",
+	Doc:       "test probe: reports each function's published result ranges",
+	Requires:  []*analysis.Analyzer{Facts},
+	FactTypes: []analysis.Fact{new(ResultRanges)},
+	Run: func(pass *analysis.Pass) error {
+		for _, fd := range pass.FuncDecls() {
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			var rr ResultRanges
+			if !pass.ImportObjectFact(fn, &rr) {
+				continue
+			}
+			parts := make([]string, len(rr.Results))
+			for i, r := range rr.Results {
+				parts[i] = Interval{Lo: r.Lo, Hi: r.Hi}.String()
+			}
+			pass.Reportf(fd.Name.Pos(), "results %s", strings.Join(parts, " "))
+		}
+		return nil
+	},
+}
+
+func TestRangeFacts(t *testing.T) {
+	analysis.RunFixture(t, rangeProbe, "testdata/rangefacts")
+}

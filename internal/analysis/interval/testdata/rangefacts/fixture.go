@@ -1,0 +1,57 @@
+// Fixture for the rangefacts producer: the probe analyzer reports the
+// published ResultRanges fact of every function that has one.
+package fixture
+
+func seven() int { return 7 } // want `results \[7, 7\]`
+
+func pick(c bool) int { // want `results \[3, 9\]`
+	if c {
+		return 3
+	}
+	return 9
+}
+
+func clamped(x int) int { // want `results \[0, 255\]`
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return x
+}
+
+// viaCallee proves cross-function propagation inside one package:
+// seven's fact is computed first (callees-first SCC order).
+func viaCallee() int { // want `results \[8, 8\]`
+	return seven() + 1
+}
+
+func pair() (int, int) { // want `results \[1, 1\] \[2, 2\]`
+	return 1, 2
+}
+
+// usesPair proves the tuple-assignment result-slot lookup.
+func usesPair() int { // want `results \[3, 3\]`
+	a, b := pair()
+	return a + b
+}
+
+func flag(c bool) (uint32, bool) { // want `results \[0, 15\] \[0, 1\]`
+	if c {
+		return 15, true
+	}
+	return 0, false
+}
+
+// opaque has an unbounded result: no fact, no diagnostic.
+func opaque(x int) int { return x }
+
+// rec is self-recursive: the recursive call resolves to the type
+// range, so the join is uninformative and no fact is published.
+func rec(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return rec(n - 1)
+}

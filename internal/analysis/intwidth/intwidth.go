@@ -1,0 +1,258 @@
+// Package intwidth proves that the integer narrowing the packed
+// CFP-tree formats depend on cannot lose bits. The miner packs 40-bit
+// arena pointers, 32-bit ranks, and 24-bit counts into wider words
+// (internal/core/node.go, internal/encoding), so every truncating
+// conversion, variable shift amount, and packed-slot store is a place
+// where an unproven value silently corrupts a neighbouring field. The
+// analyzer asks the interval engine (internal/analysis/interval) for a
+// proven range at each such site and reports the ones it cannot
+// certify:
+//
+//   - a non-constant shift amount must be proven within [0, w-1] for
+//     the shifted operand's width w (beyond that Go still defines the
+//     result, but in packing code an over-wide shift is always a
+//     field-boundary bug);
+//   - a truncating or sign-changing integer conversion must have its
+//     operand proven to fit the destination type;
+//   - calls to the packed-format sinks must pass proven arguments:
+//     encoding.PutPtr40's value ≤ encoding.MaxPtr40 and
+//     encoding.PutSuppressed32's zero-byte count within [0, 4].
+//
+// One idiom is exempt: conversions to a byte written straight into a
+// []byte element (index store or append) are the serializer's
+// intentional low-byte extraction (`buf[i] = byte(v); v >>= 8`), not a
+// lossy narrowing.
+//
+// Proofs come from dominating guards, the repo's debugChecks
+// assertions, and callee result ranges published by rangefacts, so a
+// guard in the caller or an assert in the callee both discharge a
+// site.
+package intwidth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/cfg"
+	"cfpgrowth/internal/analysis/interval"
+	"cfpgrowth/internal/analysis/ssa"
+	"cfpgrowth/internal/encoding"
+)
+
+const encodingPath = "cfpgrowth/internal/encoding"
+
+// Analyzer is the intwidth pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "intwidth",
+	Doc:       "prove shift amounts, truncating conversions, and packed-slot stores in range",
+	Requires:  []*analysis.Analyzer{interval.Facts},
+	FactTypes: []analysis.Fact{new(interval.ResultRanges)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	look := interval.PassLookuper(pass)
+	for _, fd := range pass.FuncDecls() {
+		checkFunc(pass, fd, look)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, look interval.Lookuper) {
+	g := cfg.New(fd.Body)
+	fn := ssa.Build(fd, g, pass.TypesInfo)
+	res := interval.Analyze(fn, pass.TypesInfo, look)
+	exempt := byteStoreConversions(pass.TypesInfo, fd.Body)
+
+	// Walk reachable blocks only: sites behind a constant-false guard
+	// (the pruned arm of a debugChecks build toggle) have no computed
+	// ranges and no runtime behaviour to prove.
+	seen := map[ast.Node]bool{}
+	for _, blk := range g.Blocks {
+		if !fn.Reachable(blk) {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if _, ok := n.(cfg.RangeHead); ok {
+				continue // synthetic: ast.Inspect cannot walk it
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.BinaryExpr:
+					if m.Op == token.SHL || m.Op == token.SHR {
+						checkShift(pass, res, m.X, m.Y)
+					}
+				case *ast.AssignStmt:
+					if m.Tok == token.SHL_ASSIGN || m.Tok == token.SHR_ASSIGN {
+						checkShift(pass, res, m.Lhs[0], m.Rhs[0])
+					}
+				case *ast.CallExpr:
+					checkCall(pass, res, m, exempt)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkShift proves a non-constant shift amount within the shifted
+// operand's bit width.
+func checkShift(pass *analysis.Pass, res *interval.Result, x, amount ast.Expr) {
+	if tv, ok := pass.TypesInfo.Types[amount]; ok && tv.Value != nil {
+		return // constant: the compiler already rejects over-wide shifts
+	}
+	w := bitWidth(pass.TypesInfo, x)
+	iv := res.Eval(amount)
+	if !iv.In(0, int64(w-1)) {
+		pass.Reportf(amount.Pos(), "shift amount not proven in [0, %d]: computed range %v", w-1, iv)
+	}
+}
+
+func checkCall(pass *analysis.Pass, res *interval.Result, call *ast.CallExpr, exempt map[*ast.CallExpr]bool) {
+	// Conversion T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, res, call, tv.Type, exempt)
+		return
+	}
+	// Packed-format sinks.
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != encodingPath {
+		return
+	}
+	switch fn.Name() {
+	case "PutPtr40":
+		if len(call.Args) == 2 {
+			iv := res.Eval(call.Args[1])
+			if !iv.In(0, int64(encoding.MaxPtr40)) {
+				pass.Reportf(call.Args[1].Pos(),
+					"PutPtr40 value not proven ≤ MaxPtr40 (high byte 0xFF is the embed marker): computed range %v", iv)
+			}
+		}
+	case "PutSuppressed32":
+		if len(call.Args) == 3 {
+			iv := res.Eval(call.Args[2])
+			if !iv.In(0, 4) {
+				pass.Reportf(call.Args[2].Pos(),
+					"PutSuppressed32 zero-byte count not proven in [0, 4]: computed range %v", iv)
+			}
+		}
+	}
+}
+
+// checkConversion proves a truncating or sign-changing integer
+// conversion fits its destination.
+func checkConversion(pass *analysis.Pass, res *interval.Result, call *ast.CallExpr, dst types.Type, exempt map[*ast.CallExpr]bool) {
+	db, ok := dst.Underlying().(*types.Basic)
+	if !ok || db.Info()&types.IsInteger == 0 {
+		return
+	}
+	arg := call.Args[0]
+	atv, ok := pass.TypesInfo.Types[arg]
+	if !ok || atv.Value != nil {
+		return // constants are checked by the compiler
+	}
+	sb, ok := types.Default(atv.Type).Underlying().(*types.Basic)
+	if !ok || sb.Info()&types.IsInteger == 0 {
+		return
+	}
+	dr := interval.TypeRange(dst)
+	sr := interval.TypeRange(types.Default(atv.Type))
+	if !sr.Empty() && sr.In(dr.Lo, dr.Hi) {
+		return // widening conversion: every source value fits
+	}
+	if exempt[call] {
+		return // serializer low-byte extraction into a []byte
+	}
+	iv := res.Eval(arg)
+	if !iv.In(dr.Lo, dr.Hi) {
+		pass.Reportf(call.Pos(), "truncating conversion to %s not proven to fit: computed range %v", db.Name(), iv)
+	}
+}
+
+// bitWidth returns the width in bits of an integer expression's type.
+func bitWidth(info *types.Info, e ast.Expr) int {
+	tv, ok := info.Types[e]
+	if !ok {
+		return 64
+	}
+	bt, ok := types.Default(tv.Type).Underlying().(*types.Basic)
+	if !ok {
+		return 64
+	}
+	switch bt.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	}
+	return 64
+}
+
+// byteStoreConversions collects the conversions exempt under the
+// serializer idiom: a conversion to a byte-sized type used as (part
+// of) a value stored into a []byte element or appended to a []byte.
+func byteStoreConversions(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	markByteConvs := func(e ast.Expr) {
+		ast.Inspect(e, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Kind() == types.Uint8 {
+				exempt[call] = true
+			}
+			return true
+		})
+	}
+	isByteSlice := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		st, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		bt, ok := st.Elem().Underlying().(*types.Basic)
+		return ok && bt.Kind() == types.Uint8
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, lh := range m.Lhs {
+				ix, ok := ast.Unparen(lh).(*ast.IndexExpr)
+				if !ok || !isByteSlice(ix.X) {
+					continue
+				}
+				if len(m.Rhs) == len(m.Lhs) {
+					markByteConvs(m.Rhs[i])
+				} else if len(m.Rhs) == 1 {
+					markByteConvs(m.Rhs[0])
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && len(m.Args) >= 2 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && isByteSlice(m.Args[0]) {
+					for _, a := range m.Args[1:] {
+						markByteConvs(a)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}

@@ -1,0 +1,12 @@
+package intwidth_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/intwidth"
+)
+
+func TestIntWidth(t *testing.T) {
+	analysis.RunFixture(t, intwidth.Analyzer, "testdata")
+}

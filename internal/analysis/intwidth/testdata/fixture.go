@@ -1,0 +1,138 @@
+// Fixture for intwidth: shift amounts, truncating conversions, and
+// packed-format sink arguments must carry proven ranges.
+package fixture
+
+import "cfpgrowth/internal/encoding"
+
+const debugChecks = false
+
+func assertf(cond bool, msg string) {
+	if debugChecks && !cond {
+		panic(msg)
+	}
+}
+
+// --- shift amounts ---------------------------------------------------
+
+func shiftUnproven(x uint64, n uint) uint64 {
+	return x << n // want `shift amount not proven in \[0, 63\]`
+}
+
+func shiftGuarded(x uint64, n uint) uint64 {
+	if n < 64 {
+		return x << n // proven by the guard
+	}
+	return 0
+}
+
+func shiftMasked(x uint64, n uint) uint64 {
+	return x << (n & 63) // proven by the mask
+}
+
+func shiftNarrow(x uint32, n uint) uint32 {
+	if n < 64 {
+		return x << n // want `shift amount not proven in \[0, 31\]`
+	}
+	return 0
+}
+
+func shiftConstant(x uint64) uint64 {
+	return x << 32 // constants are the compiler's problem
+}
+
+func shiftAssigned(x uint64, n uint) uint64 {
+	if n >= 8 {
+		return 0
+	}
+	x <<= n // proven via the early return
+	return x
+}
+
+// --- truncating conversions ------------------------------------------
+
+func truncUnproven(v uint64) uint32 {
+	return uint32(v) // want `truncating conversion to uint32 not proven to fit`
+}
+
+func truncGuarded(v uint64) uint32 {
+	if v > 0xFFFFFFFF {
+		return 0
+	}
+	return uint32(v) // proven by the guard
+}
+
+func truncMasked(v uint64) uint32 {
+	return uint32(v & 0xFFFFFFFF) // proven by the mask
+}
+
+func truncAsserted(v uint64) uint32 {
+	if debugChecks {
+		assertf(v <= 0xFFFFFFFF, "rank overflow")
+	}
+	return uint32(v) // proven by the assertion
+}
+
+func signChange(i int) uint64 {
+	return uint64(i) // want `truncating conversion to uint64 not proven to fit`
+}
+
+func signChangeGuarded(i int) uint64 {
+	if i < 0 {
+		return 0
+	}
+	return uint64(i) // proven non-negative
+}
+
+func widening(v uint32) uint64 {
+	return uint64(v) // every uint32 fits: never reported
+}
+
+// serializerIdiom is the low-byte extraction exemption: byte
+// conversions stored straight into a []byte element (or appended).
+func serializerIdiom(buf []byte, v uint64) []byte {
+	buf[0] = byte(v)
+	buf[1] = byte(v >> 8)
+	return append(buf, byte(v>>16))
+}
+
+func byteConvElsewhere(v uint64) byte {
+	return byte(v) // want `truncating conversion to byte not proven to fit`
+}
+
+// --- packed-format sinks ---------------------------------------------
+
+func ptrStoreUnproven(buf []byte, off uint64) {
+	encoding.PutPtr40(buf, off) // want `PutPtr40 value not proven ≤ MaxPtr40`
+}
+
+func ptrStoreGuarded(buf []byte, off uint64) bool {
+	if off > encoding.MaxPtr40 {
+		return false
+	}
+	encoding.PutPtr40(buf, off) // proven by the guard
+	return true
+}
+
+func suppressedUnproven(buf []byte, v uint32, zb int) int {
+	return encoding.PutSuppressed32(buf, v, zb) // want `PutSuppressed32 zero-byte count not proven in \[0, 4\]`
+}
+
+func zeroBytes(v uint32) int {
+	switch {
+	case v == 0:
+		return 4
+	case v < 1<<8:
+		return 3
+	case v < 1<<16:
+		return 2
+	case v < 1<<24:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func suppressedComputed(buf []byte, v uint32) int {
+	zb := zeroBytes(v) // rangefacts proves the result in [0, 4]
+	return encoding.PutSuppressed32(buf, v, zb)
+}

@@ -47,6 +47,26 @@ type listedPackage struct {
 	Dir         string
 	GoFiles     []string
 	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+}
+
+// chainImporter resolves imports against the packages this load has
+// already type-checked before falling back to the source importer.
+// Without it, a target package and the importer's private copy of the
+// same package are distinct object graphs, and object facts exported
+// while analyzing the target are invisible at call sites in other
+// targets (the fact store is keyed by object identity).
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.local[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
 }
 
 // Load expands patterns and returns the matched packages, parsed and
@@ -66,9 +86,15 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	l.fset = token.NewFileSet()
 	// One importer for the whole load: dependencies reached from
-	// several target packages are type-checked from source only once.
-	l.imp = importer.ForCompiler(l.fset, "source", nil)
-	var pkgs []*Package
+	// several target packages are type-checked from source only once,
+	// and targets checked by this load shadow the importer's private
+	// copies so every target sees one shared object graph.
+	chain := &chainImporter{
+		local:    map[string]*types.Package{},
+		fallback: importer.ForCompiler(l.fset, "source", nil),
+	}
+	l.imp = chain
+	var listed []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var lp listedPackage
@@ -77,18 +103,59 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
 		}
+		listed = append(listed, lp)
+	}
+	// Check targets callees-first so that a target importing another
+	// target resolves it from this load (object identity shared), never
+	// from the fallback importer.
+	byPath := make(map[string]*listedPackage, len(listed))
+	for i := range listed {
+		byPath[listed[i].ImportPath] = &listed[i]
+	}
+	checked := make(map[string]*Package, len(listed))
+	var visit func(lp *listedPackage) error
+	visit = func(lp *listedPackage) error {
+		if _, done := checked[lp.ImportPath]; done {
+			return nil
+		}
+		checked[lp.ImportPath] = nil // in progress; import cycles are a type error anyway
+		imports := lp.Imports
+		if l.Tests {
+			imports = append(imports[:len(imports):len(imports)], lp.TestImports...)
+		}
+		for _, ip := range imports {
+			if dep, isTarget := byPath[ip]; isTarget {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
 		files := lp.GoFiles
 		if l.Tests {
 			files = append(files[:len(files):len(files)], lp.TestGoFiles...)
 		}
 		if len(files) == 0 {
-			continue
+			return nil
 		}
 		pkg, err := l.check(lp.ImportPath, lp.Dir, files)
 		if err != nil {
+			return err
+		}
+		chain.local[lp.ImportPath] = pkg.Types
+		checked[lp.ImportPath] = pkg
+		return nil
+	}
+	for i := range listed {
+		if err := visit(&listed[i]); err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+	}
+	// Return in `go list` order regardless of check order.
+	var pkgs []*Package
+	for i := range listed {
+		if pkg := checked[listed[i].ImportPath]; pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,12 @@
+package loopprogress_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/loopprogress"
+)
+
+func TestLoopProgress(t *testing.T) {
+	analysis.RunFixture(t, loopprogress.Analyzer, "testdata")
+}

@@ -1,0 +1,296 @@
+// Fixture for loopprogress: hot-marked and decoder-calling loops must
+// exhibit a proven progress variant; the want comments pin the loops
+// the analyzer must flag, and their clean twins pin the proofs it must
+// accept.
+package fixture
+
+import "cfpgrowth/internal/encoding"
+
+const debugChecks = false
+
+func assertf(cond bool, msg string) {
+	if debugChecks && !cond {
+		panic(msg)
+	}
+}
+
+// ---- cursor advance (pattern 1) -------------------------------------
+
+// pr2Regression reintroduces the PR-2 bug shape: Uvarint returns
+// length 0 on a truncated varint, so the cursor stops advancing and
+// the scan spins forever. In scope through the direct decoder call
+// even without a hot marker.
+func pr2Regression(buf []byte) uint64 {
+	var total uint64
+	pos := 0
+	for pos < len(buf) { // want `loop over untrusted data has no proven progress variant`
+		v, n := encoding.Uvarint(buf[pos:])
+		total += v
+		pos += n
+	}
+	return total
+}
+
+// pr2Fixed is the same loop with the decoded length guarded: the
+// false edge of n <= 0 proves the step ≥ 1.
+func pr2Fixed(buf []byte) uint64 {
+	var total uint64
+	pos := 0
+	for pos < len(buf) {
+		v, n := encoding.Uvarint(buf[pos:])
+		if n <= 0 {
+			return total
+		}
+		total += v
+		pos += n
+	}
+	return total
+}
+
+// drain descends: the bound is constant and every back edge
+// decrements.
+//
+//cfplint:hot
+func drain(n int) int {
+	total := 0
+	for n > 0 {
+		total += n
+		n--
+	}
+	return total
+}
+
+// movingGoal advances its cursor but also moves the bound, so no
+// conjunct is a proven variant.
+//
+//cfplint:hot
+func movingGoal(b []byte) int {
+	i, n := 0, len(b)
+	for i < n { // want `loop over untrusted data has no proven progress variant`
+		if b[i] == 0 {
+			n++
+		}
+		i++
+	}
+	return i
+}
+
+// resetCursor has a back edge that rewrites the cursor from elsewhere
+// instead of advancing it.
+//
+//cfplint:hot
+func resetCursor(b []byte, start int) int {
+	pos := start
+	for pos < len(b) { // want `loop over untrusted data has no proven progress variant`
+		if b[pos] == 0 {
+			pos = start
+		} else {
+			pos++
+		}
+	}
+	return pos
+}
+
+// stride advances by a step the guard proves positive.
+//
+//cfplint:hot
+func stride(b []byte, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	s := 0
+	for i := 0; i < len(b); i += k {
+		s += int(b[i])
+	}
+	return s
+}
+
+// ---- guarded-subtract chase (pattern 2) -----------------------------
+
+// step stands in for ParentFields: rangefacts publishes its result
+// range [1, ...], which proves the chase's subtrahend.
+func step(x uint32) uint32 {
+	return x/2 + 1
+}
+
+// chaseClean is the SupportOf/PathTo shape: the condition guards
+// x - d ≥ 0, the body's first statement takes x -= d, and the seed
+// assertion plus step's result range prove d ≥ 1 on every iteration.
+//
+//cfplint:hot
+func chaseClean(rk, delta uint32) uint32 {
+	if debugChecks {
+		assertf(delta >= 1, "seed delta")
+	}
+	for int64(rk)-int64(delta) >= 0 {
+		rk -= delta
+		delta = step(rk)
+	}
+	return rk
+}
+
+// chaseStalls drops the seed assertion: the first delta may be zero
+// and the first iteration then never progresses.
+//
+//cfplint:hot
+func chaseStalls(rk, delta uint32) uint32 {
+	for int64(rk)-int64(delta) >= 0 { // want `loop over untrusted data has no proven progress variant`
+		rk -= delta
+		delta = step(rk)
+	}
+	return rk
+}
+
+// chaseDirty compensates the subtract with a later increase, voiding
+// the decrease.
+//
+//cfplint:hot
+func chaseDirty(rk, delta uint32) uint32 {
+	if debugChecks {
+		assertf(delta >= 1, "seed delta")
+	}
+	for int64(rk)-int64(delta) >= 0 { // want `loop over untrusted data has no proven progress variant`
+		rk -= delta
+		rk += 2
+	}
+	return rk
+}
+
+// ---- binary-search halving (pattern 3) ------------------------------
+
+// find is decode.go's lower-bound search: both cursors step past the
+// floor midpoint, so hi-lo strictly shrinks.
+//
+//cfplint:hot
+func find(keys []int32, k int32) int32 {
+	lo, hi := int32(0), int32(len(keys)-1)
+	for lo <= hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		switch {
+		case keys[mid] < k:
+			lo = mid + 1
+		case keys[mid] > k:
+			hi = mid - 1
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// findSticky is the classic broken bisection: lo = mid sticks when
+// the window narrows to one element.
+//
+//cfplint:hot
+func findSticky(keys []int32, k int32) int32 {
+	lo, hi := int32(0), int32(len(keys)-1)
+	for lo <= hi { // want `loop over untrusted data has no proven progress variant`
+		mid := int32(uint32(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid
+		} else if keys[mid] > k {
+			hi = mid - 1
+		} else {
+			return mid
+		}
+	}
+	return -1
+}
+
+// reverse is the converging-pair shape: neither bound is invariant,
+// but the cursors advance toward each other, so the gap shrinks.
+//
+//cfplint:hot
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// parallelChase looks like a converging pair but both cursors move
+// the same direction: i < j holds forever.
+//
+//cfplint:hot
+func parallelChase(b []byte) int {
+	s := 0
+	for i, j := 0, 1; i < j; i, j = i+1, j+1 { // want `loop over untrusted data has no proven progress variant`
+		s += int(b[i&(len(b)-1)])
+	}
+	return s
+}
+
+// ---- unconditional loops (pattern 4) --------------------------------
+
+// lanes is the interleaved lane-chase shape: an unlabeled break at
+// loop depth is the exit edge.
+//
+//cfplint:hot
+func lanes(ptrs []uint64) int {
+	n := 0
+	for {
+		alive := false
+		for i := range ptrs {
+			if ptrs[i] != 0 {
+				ptrs[i]--
+				alive = true
+			}
+		}
+		n++
+		if !alive {
+			break
+		}
+	}
+	return n
+}
+
+// spin has no exit edge at all.
+//
+//cfplint:hot
+func spin(x uint64) uint64 {
+	for { // want `unconditional hot-path loop has no exit edge`
+		x *= 6364136223846793005
+		if x == 0 {
+			x = 1
+		}
+	}
+}
+
+// innerBreakOnly breaks the nested switch, never the loop.
+//
+//cfplint:hot
+func innerBreakOnly(x uint64) uint64 {
+	for { // want `unconditional hot-path loop has no exit edge`
+		switch x & 1 {
+		case 0:
+			x = x>>1 + 1
+		default:
+			break
+		}
+	}
+}
+
+// ---- scope ----------------------------------------------------------
+
+// coldStall is neither hot-marked nor decoder-calling: out of scope,
+// not reported even though nothing is proven.
+func coldStall(b []byte) int {
+	pos := 0
+	for pos < len(b) {
+		if b[pos] == 0 {
+			break
+		}
+		pos += int(b[pos])
+	}
+	return pos
+}
+
+// rangeLoops always terminate and are skipped even in hot functions.
+//
+//cfplint:hot
+func rangeLoops(b []byte) int {
+	s := 0
+	for _, v := range b {
+		s += int(v)
+	}
+	return s
+}

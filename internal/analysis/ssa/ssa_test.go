@@ -1,0 +1,396 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"cfpgrowth/internal/analysis/cfg"
+)
+
+// buildFn typechecks src and builds the SSA form of the named
+// function.
+func buildFn(t *testing.T, src, name string) (*ast.FuncDecl, *Func) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, Build(fd, cfg.New(fd.Body), info)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// useOf returns the SSA value of the n-th use (0-based, source order)
+// of the named identifier.
+func useOf(t *testing.T, fd *ast.FuncDecl, fn *Func, name string, n int) *Value {
+	t.Helper()
+	var vals []*Value
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == name {
+			if v, ok := fn.UseOf[id]; ok {
+				vals = append(vals, v)
+			}
+		}
+		return true
+	})
+	if n >= len(vals) {
+		t.Fatalf("ident %q has %d resolved uses, want at least %d", name, len(vals), n+1)
+	}
+	return vals[n]
+}
+
+func TestStraightLineVersions(t *testing.T) {
+	src := `package p
+func f() int {
+	x := 1
+	x = x + 2
+	return x
+}`
+	fd, fn := buildFn(t, src, "f")
+	first := useOf(t, fd, fn, "x", 0)  // x in x+2
+	second := useOf(t, fd, fn, "x", 1) // x in return
+	if first == second {
+		t.Error("use before and after the second assignment must be different versions")
+	}
+	if first.Kind != Def || second.Kind != Def {
+		t.Errorf("kinds = %v, %v, want Def, Def", first.Kind, second.Kind)
+	}
+	if second.Expr == nil {
+		t.Error("second version should carry its defining expression")
+	}
+}
+
+func TestPhiAtJoin(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	return x
+}`
+	fd, fn := buildFn(t, src, "f")
+	ret := useOf(t, fd, fn, "x", 0)
+	if ret.Kind != Phi {
+		t.Fatalf("use at join has kind %v, want Phi", ret.Kind)
+	}
+	var defs int
+	for _, a := range ret.Args {
+		if a != nil && a.Kind == Def {
+			defs++
+		}
+	}
+	if defs != 2 {
+		t.Errorf("phi merges %d defs, want 2 (x=0 and x=1)", defs)
+	}
+}
+
+func TestPrunedPhiOmittedWhenDead(t *testing.T) {
+	src := `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	}
+	_ = x
+	y := 2
+	return y
+}`
+	_, fn := buildFn(t, src, "f")
+	// y is defined once after the join; no phi should exist for y.
+	for _, v := range fn.Values {
+		if v.Kind == Phi && v.Var.Name() == "y" {
+			t.Error("dead-at-join variable y got a phi")
+		}
+	}
+}
+
+func TestBranchRefinement(t *testing.T) {
+	src := `package p
+func f(i, n int) int {
+	if i < n {
+		return i
+	}
+	return 0
+}`
+	fd, fn := buildFn(t, src, "f")
+	// The i in `return i` must be a Refine on the true edge of i < n.
+	use := useOf(t, fd, fn, "i", 1)
+	if use.Kind != Refine {
+		t.Fatalf("guarded use has kind %v, want Refine", use.Kind)
+	}
+	if !use.Taken {
+		t.Error("refinement polarity should be the taken (true) edge")
+	}
+	be, ok := use.Cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.LSS {
+		t.Errorf("refinement condition is %T, want the i < n comparison", use.Cond)
+	}
+	if use.X == nil || use.X.Kind != Param {
+		t.Error("refinement must wrap the parameter version")
+	}
+}
+
+func TestChainedRefinementThroughShortCircuit(t *testing.T) {
+	src := `package p
+func f(i, n int) int {
+	if i >= 0 && i < n {
+		return i
+	}
+	return 0
+}`
+	fd, fn := buildFn(t, src, "f")
+	use := useOf(t, fd, fn, "i", 2) // i in return i (after the two cond uses)
+	if use.Kind != Refine {
+		t.Fatalf("guarded use has kind %v, want Refine", use.Kind)
+	}
+	if use.X == nil || use.X.Kind != Refine {
+		t.Fatalf("short-circuit guard should chain refinements, inner kind = %v", use.X.Kind)
+	}
+}
+
+func TestLoopPhiAndPostLoopRefinement(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	i := 0
+	for i < n {
+		i++
+	}
+	return i
+}`
+	fd, fn := buildFn(t, src, "f")
+	condUse := useOf(t, fd, fn, "i", 0) // i in i < n
+	if condUse.Kind != Phi {
+		t.Fatalf("loop-head use has kind %v, want Phi", condUse.Kind)
+	}
+	ret := useOf(t, fd, fn, "i", 2) // i in return
+	if ret.Kind != Refine || ret.Taken {
+		t.Errorf("post-loop use should be the false-edge refinement, got kind %v taken %v", ret.Kind, ret.Taken)
+	}
+	// The increment consumes the body refinement of the head phi.
+	var inc *Value
+	for _, v := range fn.Values {
+		if v.Kind == Def && v.Op == token.INC {
+			inc = v
+		}
+	}
+	if inc == nil {
+		t.Fatal("no Def for i++")
+	}
+	if inc.X == nil || inc.X.Kind != Refine || !inc.X.Taken {
+		t.Errorf("i++ should consume the true-edge refinement, got %+v", inc.X)
+	}
+}
+
+func TestAddressTakenUntracked(t *testing.T) {
+	src := `package p
+func g(*int) {}
+func f() int {
+	x := 1
+	g(&x)
+	return x
+}`
+	fd, fn := buildFn(t, src, "f")
+	found := false
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == "x" {
+			if _, ok := fn.UseOf[id]; ok {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		t.Error("address-taken variable must not resolve to SSA values")
+	}
+}
+
+func TestClosureCaptureUntracked(t *testing.T) {
+	src := `package p
+func f() int {
+	x := 1
+	g := func() { x = 2 }
+	g()
+	return x
+}`
+	fd, fn := buildFn(t, src, "f")
+	ast.Inspect(fd.Body, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && id.Name == "x" {
+			if _, ok := fn.UseOf[id]; ok {
+				t.Error("closure-captured variable must not resolve to SSA values")
+			}
+		}
+		return true
+	})
+}
+
+func TestRangeIndexRole(t *testing.T) {
+	src := `package p
+func f(xs []int) int {
+	s := 0
+	for i := range xs {
+		s += i
+	}
+	return s
+}`
+	_, fn := buildFn(t, src, "f")
+	var idx *Value
+	for _, v := range fn.Values {
+		if v.Kind == Def && v.Role == RangeIndex {
+			idx = v
+		}
+	}
+	if idx == nil {
+		t.Fatal("no RangeIndex definition for i")
+	}
+	if idx.Range == nil {
+		t.Error("range definition must reference its range statement")
+	}
+}
+
+func TestMultiValueCallDef(t *testing.T) {
+	src := `package p
+func two() (int, int) { return 1, 2 }
+func f() int {
+	a, b := two()
+	return a + b
+}`
+	fd, fn := buildFn(t, src, "f")
+	a := useOf(t, fd, fn, "a", 0)
+	b := useOf(t, fd, fn, "b", 0)
+	if a.Call == nil || b.Call == nil {
+		t.Fatal("tuple-call definitions must record the call")
+	}
+	if a.Index != 0 || b.Index != 1 {
+		t.Errorf("result slots = %d, %d, want 0, 1", a.Index, b.Index)
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	x := n
+	y := x + 1
+	return y
+}`
+	fd, fn := buildFn(t, src, "f")
+	xv := useOf(t, fd, fn, "x", 0)
+	yv := useOf(t, fd, fn, "y", 0)
+	found := false
+	for _, u := range fn.Uses[xv] {
+		if u == yv {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("def-use chain of x must include the definition of y")
+	}
+}
+
+func TestAssertRefinementSurvivesDebugChecksJoin(t *testing.T) {
+	// The repo's assertion convention: with the debugChecks guard
+	// treated as constant true, the assertion body dominates the code
+	// after the join, so the assumption stays in scope.
+	src := `package p
+const debugChecks = false
+func assertf(cond bool, msg string) {}
+func f(d uint64) uint64 {
+	if debugChecks {
+		assertf(d >= 1, "delta must be positive")
+	}
+	return d
+}`
+	fd, fn := buildFn(t, src, "f")
+	ret := useOf(t, fd, fn, "d", 1) // d in return (after the assert's use)
+	if ret.Kind != Refine {
+		t.Fatalf("post-assert use has kind %v, want Refine", ret.Kind)
+	}
+	be, ok := ret.Cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.GEQ {
+		t.Errorf("assert refinement condition is %T, want d >= 1", ret.Cond)
+	}
+	if !ret.Taken {
+		t.Error("assert refinement must assume the condition true")
+	}
+}
+
+func TestConstantFalseBranchPruned(t *testing.T) {
+	src := `package p
+const never = false
+func f(x int) int {
+	y := 1
+	if never {
+		y = 2
+	}
+	return y + x
+}`
+	fd, fn := buildFn(t, src, "f")
+	// With the constant-false arm pruned there is no join: the use of
+	// y must be the y=1 definition, not a phi.
+	use := useOf(t, fd, fn, "y", 0)
+	if use.Kind != Def {
+		t.Errorf("use after pruned branch has kind %v, want Def (no phi)", use.Kind)
+	}
+}
+
+func TestAssertConjunctionSplitsRefinements(t *testing.T) {
+	src := `package p
+const debugChecks = true
+func assertf(cond bool, msg string) {}
+func f(a, b int) int {
+	if debugChecks {
+		assertf(a >= 0 && b < 10, "bounds")
+	}
+	return a + b
+}`
+	fd, fn := buildFn(t, src, "f")
+	au := useOf(t, fd, fn, "a", 1)
+	bu := useOf(t, fd, fn, "b", 1)
+	if au.Kind != Refine || bu.Kind != Refine {
+		t.Fatalf("post-assert kinds = %v, %v, want Refine, Refine", au.Kind, bu.Kind)
+	}
+	if be, ok := au.Cond.(*ast.BinaryExpr); !ok || be.Op != token.GEQ {
+		t.Errorf("a's refinement should be the a >= 0 conjunct, got %v", au.Cond)
+	}
+	if be, ok := bu.Cond.(*ast.BinaryExpr); !ok || be.Op != token.LSS {
+		t.Errorf("b's refinement should be the b < 10 conjunct, got %v", bu.Cond)
+	}
+}
+
+func TestOpAssignReadsOldVersion(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+	s += n
+	return s
+}`
+	fd, fn := buildFn(t, src, "f")
+	ret := useOf(t, fd, fn, "s", 1)
+	if ret.Op != token.ADD_ASSIGN {
+		t.Fatalf("returned version has op %v, want +=", ret.Op)
+	}
+	if ret.X == nil || ret.X.Kind != Def {
+		t.Error("op-assign must consume the prior version")
+	}
+	if ret.Expr == nil {
+		t.Error("op-assign must record its operand expression")
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"go/types"
 
 	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/boundscertain"
 	"cfpgrowth/internal/analysis/cfg"
 	"cfpgrowth/internal/analysis/dataflow"
 	"cfpgrowth/internal/analysis/summary"
@@ -117,9 +118,12 @@ slice index, slice bound, or make size to be dominated by a sanitizing
 comparison (constant truncation check, directional bound check, or an
 assert audit) on every path; passing a tainted value to a callee whose
 summary says it indexes that parameter unchecked (UnboundedIndex) is
-the same sink one call further away`,
-	Requires:  []*analysis.Analyzer{Sources, summary.Analyzer},
-	FactTypes: []analysis.Fact{new(Untrusted), new(summary.Effects)},
+the same sink one call further away; sinks whose bounds the interval
+engine has already certified (the boundscertain fact) are proven safe
+and skipped, so a numeric proof discharges the taint finding without
+an ignore directive`,
+	Requires:  []*analysis.Analyzer{Sources, summary.Analyzer, boundscertain.Analyzer},
+	FactTypes: []analysis.Fact{new(Untrusted), new(summary.Effects), new(boundscertain.Certified)},
 	Run:       run,
 }
 
@@ -127,10 +131,15 @@ func run(pass *analysis.Pass) error {
 	lookup := summary.Lookuper(pass)
 	for _, fd := range pass.FuncDecls() {
 		lexicalCheck(pass, fd)
-		taintCheck(pass, fd.Body, lookup)
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		certified := boundscertain.Sites(pass, fn)
+		taintCheck(pass, fd.Body, lookup, certified)
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
-				taintCheck(pass, lit.Body, lookup)
+				// Certified sites never sit inside function literals
+				// (the SSA form treats them as opaque), so the set
+				// cannot mask anything here.
+				taintCheck(pass, lit.Body, lookup, certified)
 			}
 			return true
 		})
@@ -252,6 +261,11 @@ type taintProblem struct {
 	// audited maps objects to the position of the first assert call
 	// vouching for them; audits apply from that position on.
 	audited map[types.Object]token.Pos
+	// certified holds the Lbrack positions of index/slice expressions
+	// the interval engine proved in range (the boundscertain fact):
+	// a numeric proof makes the sink unreachable by a faulting value,
+	// tainted or not.
+	certified map[token.Pos]bool
 }
 
 func (p *taintProblem) Entry() tstate { return tstate{} }
@@ -476,8 +490,8 @@ func rootObj(info *types.Info, e ast.Expr) types.Object {
 
 // taintCheck solves the taint problem over one function scope and
 // reports tainted values reaching sinks.
-func taintCheck(pass *analysis.Pass, body *ast.BlockStmt, lookup summary.Lookup) {
-	prob := &taintProblem{pass: pass, audited: collectAudits(pass, body)}
+func taintCheck(pass *analysis.Pass, body *ast.BlockStmt, lookup summary.Lookup, certified map[token.Pos]bool) {
+	prob := &taintProblem{pass: pass, audited: collectAudits(pass, body), certified: certified}
 	g := cfg.New(body)
 	res := dataflow.Forward[tstate](g, prob)
 	res.Iterate(g, prob, func(n ast.Node, before tstate) {
@@ -529,10 +543,13 @@ func checkSinks(pass *analysis.Pass, prob *taintProblem, n ast.Node, s tstate, l
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.IndexExpr:
-			if indexableSink(info, m.X) {
+			if indexableSink(info, m.X) && !prob.certified[m.Lbrack] {
 				reportTaintedExpr(pass, prob, s, m.Index, "an index")
 			}
 		case *ast.SliceExpr:
+			if prob.certified[m.Lbrack] {
+				break
+			}
 			for _, bound := range []ast.Expr{m.Low, m.High, m.Max} {
 				if bound != nil {
 					reportTaintedExpr(pass, prob, s, bound, "a slice bound")

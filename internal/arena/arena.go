@@ -104,7 +104,11 @@ func (a *Arena) Free(off uint64, size int) {
 		a.smallFree[size] = append(a.smallFree[size], off)
 		return
 	}
-	encoding.PutPtr40(a.buf[off:], a.freeHead[size])
+	head := a.freeHead[size]
+	if head > encoding.MaxPtr40 {
+		panic("arena: corrupt free-list head")
+	}
+	encoding.PutPtr40(a.buf[off:], head)
 	a.freeHead[size] = off
 }
 
@@ -127,6 +131,9 @@ func (a *Arena) Realloc(off uint64, oldSize, newSize int) uint64 {
 // valid until the next Alloc/Realloc (growth may move the backing
 // array).
 func (a *Arena) Bytes(off uint64, n int) []byte {
+	if n < 0 {
+		panic("arena: negative chunk length")
+	}
 	return a.buf[off : off+uint64(n)]
 }
 

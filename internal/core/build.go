@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"cfpgrowth/internal/encoding"
 	"cfpgrowth/internal/obs"
 )
@@ -222,6 +224,9 @@ func (t *Tree) buildPath(ranks []uint32, parentRank int64, weight uint32) slotVa
 
 func (t *Tree) buildSeg(ranks []uint32, parentRank int64, weight uint32) slotVal {
 	d0 := int64(ranks[0]) - parentRank
+	if debugChecks {
+		assertf(d0 >= 1 && d0 <= math.MaxUint32, "core: Δitem out of range in buildSeg (parent %d)", parentRank)
+	}
 	if len(ranks) == 1 {
 		if d0 <= embedMaxDelta && weight <= embedMaxPcount && !t.cfg.DisableEmbed {
 			t.numEmbedded++

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"cfpgrowth/internal/encoding"
 )
 
@@ -79,7 +81,13 @@ func (e *Element) ParentRank() uint32 { return e.Rank - e.Delta }
 
 // ParentLocal returns the parent's local position; only valid if
 // HasParent.
-func (e *Element) ParentLocal() uint64 { return uint64(int64(e.Local) - e.Dpos) }
+func (e *Element) ParentLocal() uint64 {
+	p := int64(e.Local) - e.Dpos
+	if debugChecks {
+		assertf(p >= 0, "core: ParentLocal of parentless element at rank %d", e.Rank)
+	}
+	return uint64(p)
+}
 
 // ScanItem iterates rank rk's subarray in storage order, invoking fn
 // for each element. This is the sideways traversal that replaces
@@ -117,7 +125,7 @@ func (a *Array) ParentFields(rk uint32, local uint64) (delta uint32, dpos int64)
 	d, n1 := encoding.Uvarint(b)
 	if debugChecks {
 		assertf(n1 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
-		assertf(d >= 1, "core: zero Δitem at rank %d local %d", rk, local)
+		assertf(d >= 1 && d <= math.MaxUint32, "core: Δitem out of range at rank %d local %d", rk, local)
 	}
 	z, n2 := encoding.Uvarint(b[n1:])
 	if debugChecks {
@@ -133,7 +141,7 @@ func (a *Array) decode(rk uint32, local uint64, b []byte) (Element, int) {
 	d, n1 := encoding.Uvarint(b)
 	if debugChecks {
 		assertf(n1 > 0, "core: truncated CFP-array triple at rank %d local %d", rk, local)
-		assertf(d >= 1, "core: zero Δitem at rank %d local %d", rk, local)
+		assertf(d >= 1 && d <= math.MaxUint32, "core: Δitem out of range at rank %d local %d", rk, local)
 	}
 	z, n2 := encoding.Uvarint(b[n1:])
 	if debugChecks {
@@ -191,9 +199,16 @@ func (a *Array) SupportOf(ranks []uint32) uint64 {
 		// the subset check has failed for this element.
 		need := len(rest) - 1
 		rk, local, delta, dpos := e.Rank, e.Local, e.Delta, e.Dpos
+		if debugChecks {
+			assertf(delta >= 1, "core: zero Δitem seed at rank %d", rk)
+		}
 		for need >= 0 && int64(rk)-int64(delta) >= 0 {
 			rk -= delta
-			local = uint64(int64(local) - dpos)
+			nl := int64(local) - dpos
+			if debugChecks {
+				assertf(nl >= 0, "core: negative parent position at rank %d", rk)
+			}
+			local = uint64(nl)
 			if rk == rest[need] {
 				need--
 			} else if rk < rest[need] {
@@ -218,9 +233,16 @@ func (a *Array) SupportOf(ranks []uint32) uint64 {
 //cfplint:hot
 func (a *Array) PathTo(e Element, buf []uint32) []uint32 {
 	rk, local, delta, dpos := e.Rank, e.Local, e.Delta, e.Dpos
+	if debugChecks {
+		assertf(delta >= 1, "core: zero Δitem seed at rank %d", rk)
+	}
 	for int64(rk)-int64(delta) >= 0 {
 		rk -= delta
-		local = uint64(int64(local) - dpos)
+		nl := int64(local) - dpos
+		if debugChecks {
+			assertf(nl >= 0, "core: negative parent position at rank %d", rk)
+		}
+		local = uint64(nl)
 		buf = append(buf, rk)
 		delta, dpos = a.ParentFields(rk, local)
 	}

@@ -54,9 +54,10 @@ func TestDecodeAssertsOnZeroDelta(t *testing.T) {
 	a := debugTestArray()
 	// Δitem 0 would make backward traversal loop on the same rank
 	// forever. Rank 0 holds a single parentless triple whose first byte
-	// is its Δitem varint.
+	// is its Δitem varint. The assert bounds Δitem on both sides
+	// (1 ≤ Δitem ≤ 2^32-1), so zero trips the out-of-range message.
 	a.data[a.starts[0]] = 0x00
-	mustPanicContaining(t, "zero Δitem", func() {
+	mustPanicContaining(t, "Δitem out of range", func() {
 		a.ScanItem(0, func(Element) bool { return true })
 	})
 }

@@ -105,6 +105,12 @@ func (d *Decode) From(a *Array) bool {
 	if n > math.MaxInt32 || a.DataBytes() > math.MaxUint32 {
 		return false
 	}
+	// Ranks are stored as uint32; a rank count past 32 bits cannot
+	// occur, but the explicit bound is what proves the rank packing
+	// below.
+	if numItems > math.MaxUint32 {
+		return false
+	}
 	d.wide = n >= smallRoot || numItems > 256
 	if cap(d.sup) < n {
 		d.sup = make([]uint32, n)
@@ -155,7 +161,11 @@ func (d *Decode) From(a *Array) bool {
 			parent := int32(-1)
 			if delta <= uint64(rk) {
 				pr := uint32(rk) - uint32(delta)
-				plocal := uint32(int64(pos) - encoding.Unzigzag(z))
+				pl := int64(pos) - encoding.Unzigzag(z)
+				if debugChecks {
+					assertf(pl >= 0 && pl <= math.MaxUint32, "core: parent local offset out of range at rank %d offset %d", rk, pos)
+				}
+				plocal := uint32(pl)
 				parent = d.find(pr, plocal)
 				if debugChecks {
 					assertf(parent >= 0, "core: unresolved parent (rank %d local %d) of rank %d offset %d", pr, plocal, rk, pos)
@@ -173,6 +183,9 @@ func (d *Decode) From(a *Array) bool {
 					p = uint32(parent)
 				}
 				d.walk[idx] = p<<8 | uint32(rk)
+			}
+			if debugChecks {
+				assertf(pos <= math.MaxUint32, "core: triple offset overflows 32 bits at rank %d", rk)
 			}
 			d.sup[idx] = uint32(c)
 			d.offs[idx] = uint32(pos)
@@ -193,6 +206,7 @@ func (d *Decode) From(a *Array) bool {
 func (d *Decode) find(rk uint32, local uint32) int32 {
 	lo, hi := d.start[rk], d.start[rk+1]
 	for lo < hi {
+		//cfplint:ignore intwidth overflow-safe midpoint: the int32 sum may wrap, and the uint32 reinterpretation before the shift is the algorithm
 		mid := int32(uint32(lo+hi) >> 1)
 		if d.offs[mid] < local {
 			lo = mid + 1
@@ -226,7 +240,7 @@ func (a *Array) AppendRun(rk uint32, buf []Element) []Element {
 		d, n1 := encoding.Uvarint(b[pos:])
 		if debugChecks {
 			assertf(n1 > 0, "core: truncated CFP-array triple at rank %d offset %d", rk, pos)
-			assertf(d >= 1, "core: zero Δitem at rank %d offset %d", rk, pos)
+			assertf(d >= 1 && d <= math.MaxUint32, "core: Δitem out of range at rank %d offset %d", rk, pos)
 		}
 		z, n2 := encoding.Uvarint(b[pos+n1:])
 		if debugChecks {

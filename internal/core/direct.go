@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"slices"
 
 	"cfpgrowth/internal/arena"
@@ -44,6 +45,9 @@ func (g DirectGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink
 	n := rec.NumFrequent()
 	if n == 0 {
 		return nil
+	}
+	if debugChecks {
+		assertf(n <= math.MaxUint32, "core: frequent item count %d overflows rank space", n)
 	}
 	itemName := make([]uint32, n)
 	itemCount := make([]uint64, n)
@@ -106,7 +110,11 @@ func (m *directGrower) mine(t *Tree, prefix []uint32) error {
 	itemSup := make([]uint64, t.NumItems())
 	sv := &supportVisitor{counts: cp.counts, itemSup: itemSup}
 	t.Walk(sv)
-	for rk := t.NumItems() - 1; rk >= 0; rk-- {
+	ni := t.NumItems()
+	if debugChecks {
+		assertf(ni <= math.MaxUint32, "core: item count %d overflows rank space", ni)
+	}
+	for rk := ni - 1; rk >= 0; rk-- {
 		if itemSup[rk] < m.minSup {
 			continue
 		}
@@ -196,7 +204,11 @@ func (m *directGrower) conditional(t *Tree, rk uint32, counts []uint64) *Tree {
 			}
 		}
 		if len(filtered) > 0 {
-			cond.Insert(filtered, uint32(p.weight))
+			w := p.weight
+			if debugChecks {
+				assertf(w <= math.MaxUint32, "core: path weight %d overflows uint32", w)
+			}
+			cond.Insert(filtered, uint32(w))
 		}
 	}
 	if cond.NumNodes() == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"slices"
 
 	"cfpgrowth/internal/arena"
@@ -61,6 +62,9 @@ func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) erro
 	track.Free(countBytes)
 	if n == 0 {
 		return nil
+	}
+	if debugChecks {
+		assertf(n <= math.MaxUint32, "core: frequent item count %d overflows rank space", n)
 	}
 	itemName := make([]uint32, n)
 	itemCount := make([]uint64, n)
@@ -399,7 +403,11 @@ func (m *cfpGrower) minePath(t *Tree, path []PathNode, prefix []uint32) error {
 func (m *cfpGrower) mineArray(a *Array, prefix []uint32) error {
 	d := m.acquireDecode(a)
 	var err error
-	for rk := a.NumItems() - 1; rk >= 0; rk-- {
+	ni := a.NumItems()
+	if debugChecks {
+		assertf(ni <= math.MaxUint32, "core: item count %d overflows rank space", ni)
+	}
+	for rk := ni - 1; rk >= 0; rk-- {
 		if err = m.ctl.Err(); err != nil {
 			break
 		}
@@ -499,7 +507,11 @@ func (m *cfpGrower) conditionalFlat(a *Array, d *Decode, rank uint32) *Tree {
 	// most one path per run element, filtered paths are short at a few
 	// bytes per logical node, and the reservation (retained across
 	// resets) saves the grow-and-copy ramp on large conditionals.
-	m.treeArena.Reserve(uint64(hi-lo)*16 + 64)
+	rn := hi - lo
+	if debugChecks {
+		assertf(rn >= 0, "core: inverted run bounds for rank %d", rank)
+	}
+	m.treeArena.Reserve(uint64(rn)*16 + 64)
 	cond := NewTree(m.treeArena, m.cfg, a.itemName[:rank], condCount)
 	cond.Observe(m.rec)
 	if d.wide {
@@ -558,7 +570,7 @@ func (m *cfpGrower) condCountWide(d *Decode, rk uint32, condCount []uint64) {
 				continue
 			}
 			w := walk[p]
-			condCount[uint32(w)] += cnt[l]
+			condCount[uint32(w&0xffffffff)] += cnt[l]
 			cur[l] = w >> 32
 			alive = true
 		}
@@ -661,7 +673,7 @@ func (m *cfpGrower) insertBaseWide(d *Decode, rk uint32, condCount []uint64, con
 				continue
 			}
 			w := walk[p]
-			if r := uint32(w); condCount[r] >= minSup {
+			if r := uint32(w & 0xffffffff); condCount[r] >= minSup {
 				m.laneBufs[l] = append(m.laneBufs[l], r)
 			}
 			cur[l] = w >> 32
@@ -775,7 +787,11 @@ func (m *cfpGrower) conditionalScan(a *Array, rank uint32) *Tree {
 			}
 		}
 		if w > 0 {
-			cond.Insert(m.pathBuf[:w], uint32(e.Count))
+			c := e.Count
+			if debugChecks {
+				assertf(c <= math.MaxUint32, "core: path count %d overflows uint32", c)
+			}
+			cond.Insert(m.pathBuf[:w], uint32(c&0xffffffff))
 		}
 		return true
 	})

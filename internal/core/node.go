@@ -72,10 +72,11 @@ func embedSlot(delta, pcount uint32) slotVal {
 func writeSlot(b []byte, v slotVal) {
 	switch v.kind {
 	case slotPtr:
+		off := v.ptr
 		if debugChecks {
-			assertf(v.ptr <= encoding.MaxPtr40, "core: arena offset %#x exceeds MaxPtr40", v.ptr)
+			assertf(off <= encoding.MaxPtr40, "core: arena offset %#x exceeds MaxPtr40", off)
 		}
-		encoding.PutPtr40(b, v.ptr)
+		encoding.PutPtr40(b, off)
 	case slotEmbed:
 		if debugChecks {
 			assertf(v.eDelta >= 1 && v.eDelta <= embedMaxDelta,
@@ -217,6 +218,9 @@ func decodeStd(b []byte) (stdNode, int) {
 // 1 = right, 2 = suffix) inside the encoded standard node b, or -1 if
 // the presence bit is unset.
 func slotOffsetStd(b []byte, which int) int {
+	if debugChecks {
+		assertf(which >= 0 && which <= 2, "core: slot index %d outside 0..2", which)
+	}
 	m := b[0]
 	bit := byte(1 << (2 - which))
 	if m&bit == 0 {

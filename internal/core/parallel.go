@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 
 	"cfpgrowth/internal/arena"
@@ -95,6 +96,9 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	track.Free(countBytes)
 	if n == 0 {
 		return nil
+	}
+	if debugChecks {
+		assertf(n <= math.MaxUint32, "core: frequent item count %d overflows rank space", n)
 	}
 	itemName := make([]uint32, n)
 	itemCount := make([]uint64, n)
@@ -220,7 +224,7 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		if shardRecs != nil {
 			m.rec = shardRecs[shard]
 		}
-		return m.mineTopItem(arr, topDec, uint32(rank))
+		return m.mineTopItem(arr, topDec, uint32(rank&0xffffffff))
 	})
 	track.Free(topDecBytes)
 	track.Free(arr.Bytes())

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"sort"
 
 	"cfpgrowth/internal/encoding"
@@ -67,7 +68,11 @@ func (a *Array) writeBody(w io.Writer) (int64, error) {
 	if err := uv(uint64(a.NumItems())); err != nil {
 		return cw.n, err
 	}
-	if err := uv(uint64(a.numNodes)); err != nil {
+	nn := a.numNodes
+	if debugChecks {
+		assertf(nn >= 0, "core: negative node count %d", nn)
+	}
+	if err := uv(uint64(nn)); err != nil {
 		return cw.n, err
 	}
 	if err := uv(uint64(len(a.data))); err != nil {
@@ -83,7 +88,11 @@ func (a *Array) writeBody(w io.Writer) (int64, error) {
 		if err := uv(a.support[i]); err != nil {
 			return cw.n, err
 		}
-		if err := uv(uint64(a.nodes[i])); err != nil {
+		ndi := a.nodes[i]
+		if debugChecks {
+			assertf(ndi >= 0, "core: negative node count %d for rank %d", ndi, i)
+		}
+		if err := uv(uint64(ndi)); err != nil {
 			return cw.n, err
 		}
 	}
@@ -150,6 +159,9 @@ func ReadArray(r io.Reader) (*Array, error) {
 		name, err := uv()
 		if err != nil {
 			return nil, err
+		}
+		if name > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: item name %d overflows uint32", ErrBadFormat, name)
 		}
 		a.itemName = append(a.itemName, uint32(name))
 		l, err := uv()
@@ -258,9 +270,13 @@ func (a *Array) validate() error {
 				// wrapping arithmetic Element.ParentLocal uses, to a
 				// triple start in the parent's subarray.
 				pl := int64(local) - dpos
+				if pl < 0 {
+					return fmt.Errorf("%w: dangling parent reference at rank %d local %d", ErrBadFormat, rk, local)
+				}
+				upl := uint64(pl)
 				parent := offs[rk-int(d)]
-				j := sort.Search(len(parent), func(i int) bool { return parent[i] >= uint64(pl) })
-				if pl < 0 || j == len(parent) || parent[j] != uint64(pl) {
+				j := sort.Search(len(parent), func(i int) bool { return parent[i] >= upl })
+				if j == len(parent) || parent[j] != upl {
 					return fmt.Errorf("%w: dangling parent reference at rank %d local %d", ErrBadFormat, rk, local)
 				}
 			} else if dpos != 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"cfpgrowth/internal/encoding"
 	"cfpgrowth/internal/obs"
 )
@@ -79,6 +81,9 @@ func (v *statsVisitor) Enter(rank uint32, pcount uint32) {
 		parent = v.stack[len(v.stack)-1]
 	}
 	delta := int64(rank) - parent
+	if debugChecks {
+		assertf(delta >= 1 && delta <= math.MaxUint32, "core: Δitem %d outside rank space at rank %d", delta, rank)
+	}
 	v.s.DeltaItem[encoding.ZeroBytes32(uint32(delta))]++
 	v.s.Pcount[encoding.ZeroBytes32(pcount)]++
 	v.stack = append(v.stack, int64(rank))
@@ -108,7 +113,11 @@ func (a *Array) Stats() ArrayStats {
 		IndexBytes: int64(a.NumItems()) * IndexEntrySize,
 	}
 	s.TotalBytes = s.DataBytes + s.IndexBytes
-	for rk := 0; rk < a.NumItems(); rk++ {
+	ni := a.NumItems()
+	if debugChecks {
+		assertf(ni <= math.MaxUint32, "core: item count %d overflows rank space", ni)
+	}
+	for rk := 0; rk < ni; rk++ {
 		a.ScanItem(uint32(rk), func(e Element) bool {
 			s.DeltaItemBytes += int64(encoding.UvarintLen(uint64(e.Delta)))
 			s.DposBytes += int64(encoding.UvarintLen(encoding.Zigzag(e.Dpos)))

@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Visitor observes a depth-first traversal of the logical CFP-tree.
 // Enter is called pre-order with the node's item rank and pcount; Leave
 // is called post-order. Calls nest properly, so a visitor can maintain
@@ -34,7 +36,11 @@ func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor, stop func() boo
 	case slotNone:
 		return true
 	case slotEmbed:
-		v.Enter(uint32(parentRank+int64(sv.eDelta)), sv.ePcount)
+		er := parentRank + int64(sv.eDelta)
+		if debugChecks {
+			assertf(er >= 0 && er <= math.MaxUint32, "core: walked rank %d outside rank space", er)
+		}
+		v.Enter(uint32(er), sv.ePcount)
 		v.Leave()
 	default: // slotPtr
 		b := t.nodeBytes(sv.ptr)
@@ -44,6 +50,9 @@ func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor, stop func() boo
 			last := len(c.deltas) - 1
 			for i, d := range c.deltas {
 				r += int64(d)
+				if debugChecks {
+					assertf(r >= 0 && r <= math.MaxUint32, "core: walked rank %d outside rank space", r)
+				}
 				pc := uint32(0)
 				if i == last {
 					pc = c.pcount
@@ -64,6 +73,9 @@ func (t *Tree) walkSlot(sv slotVal, parentRank int64, v Visitor, stop func() boo
 				return false
 			}
 			r := parentRank + int64(n.delta)
+			if debugChecks {
+				assertf(r >= 0 && r <= math.MaxUint32, "core: walked rank %d outside rank space", r)
+			}
 			v.Enter(uint32(r), n.pcount)
 			if !t.walkSlot(n.suffix, r, v, stop) {
 				return false
@@ -94,7 +106,11 @@ func (t *Tree) SinglePath() ([]PathNode, bool) {
 	for sv.kind != slotNone {
 		switch sv.kind {
 		case slotEmbed:
-			path = append(path, PathNode{Rank: uint32(parentRank + int64(sv.eDelta)), Pcount: sv.ePcount})
+			er := parentRank + int64(sv.eDelta)
+			if debugChecks {
+				assertf(er >= 0 && er <= math.MaxUint32, "core: path rank %d outside rank space", er)
+			}
+			path = append(path, PathNode{Rank: uint32(er), Pcount: sv.ePcount})
 			return path, true
 		default:
 			b := t.nodeBytes(sv.ptr)
@@ -104,6 +120,9 @@ func (t *Tree) SinglePath() ([]PathNode, bool) {
 				last := len(c.deltas) - 1
 				for i, d := range c.deltas {
 					r += int64(d)
+					if debugChecks {
+						assertf(r >= 0 && r <= math.MaxUint32, "core: path rank %d outside rank space", r)
+					}
 					pc := uint32(0)
 					if i == last {
 						pc = c.pcount
@@ -118,6 +137,9 @@ func (t *Tree) SinglePath() ([]PathNode, bool) {
 					return nil, false
 				}
 				r := parentRank + int64(n.delta)
+				if debugChecks {
+					assertf(r >= 0 && r <= math.MaxUint32, "core: path rank %d outside rank space", r)
+				}
 				path = append(path, PathNode{Rank: uint32(r), Pcount: n.pcount})
 				parentRank = r
 				sv = n.suffix

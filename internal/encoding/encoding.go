@@ -50,9 +50,9 @@ func Uvarint(buf []byte) (uint64, int) {
 			if i == MaxVarintLen64-1 && b > 1 {
 				return 0, -(i + 1) // overflow
 			}
-			return v | uint64(b)<<shift, i + 1
+			return v | uint64(b)<<(shift&63), i + 1
 		}
-		v |= uint64(b&0x7f) << shift
+		v |= uint64(b&0x7f) << (shift & 63)
 		shift += 7
 	}
 	return 0, 0
@@ -87,6 +87,7 @@ func SkipUvarint(buf []byte) int {
 // magnitude (of either sign) encode into few bytes: 0→0, -1→1, 1→2,
 // -2→3, ...
 func Zigzag(v int64) uint64 {
+	//cfplint:ignore intwidth zigzag is two's-complement wrap by definition: the lossy conversion is the algorithm
 	return uint64(v<<1) ^ uint64(v>>63)
 }
 

@@ -207,10 +207,17 @@ func (m BruteForce) Mine(src dataset.Source, minSupport uint64, sink Sink) error
 	if limit == 0 {
 		limit = 20
 	}
+	// Clamp to a hard constant cap: the miner allocates 1<<n counters,
+	// so anything beyond 30 bits is out of reach regardless of the
+	// configured limit, and the constant bound is what proves the shift
+	// amounts below stay in range.
+	if limit > 30 {
+		limit = 30
+	}
 	if n > limit {
 		return fmt.Errorf("bruteforce: %d frequent items exceeds limit %d", n, limit)
 	}
-	if n == 0 {
+	if n <= 0 {
 		return nil
 	}
 	// support[mask] counts transactions whose frequent-item projection
@@ -222,7 +229,10 @@ func (m BruteForce) Mine(src dataset.Source, minSupport uint64, sink Sink) error
 		buf = rec.Encode(tx, buf[:0])
 		var mask uint32
 		for _, rk := range buf {
-			mask |= 1 << rk
+			if rk > 31 {
+				return fmt.Errorf("bruteforce: rank %d out of mask range", rk)
+			}
+			mask |= 1 << (rk & 31)
 		}
 		support[mask]++
 		return nil
@@ -233,10 +243,10 @@ func (m BruteForce) Mine(src dataset.Source, minSupport uint64, sink Sink) error
 	// Sum over supersets: for each bit, fold counts of sets containing
 	// the bit into the corresponding set without it.
 	for b := 0; b < n; b++ {
-		bit := uint32(1) << b
+		bit := 1 << b
 		for mask := range support {
-			if uint32(mask)&bit == 0 {
-				support[mask] += support[uint32(mask)|bit]
+			if mask&bit == 0 {
+				support[mask] += support[mask|bit]
 			}
 		}
 	}
