@@ -10,9 +10,12 @@
 // convention "i1 i2 ... (support)".
 //
 // Observability: -trace FILE streams a JSONL trace of phase spans plus
-// a final summary (schema: docs/FORMAT.md §7), -metrics-addr ADDR
-// serves expvar, pprof and a JSON snapshot over HTTP for the run's
-// duration, and -profile FILE writes a CPU profile.
+// a final summary (schema: docs/FORMAT.md §7), -trace-out FILE writes a
+// hierarchical Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing, -sample INTERVAL polls runtime stats into the
+// stream, -metrics-addr ADDR serves expvar, pprof, a JSON snapshot and
+// a Prometheus text endpoint over HTTP for the run's duration, and
+// -profile FILE writes a CPU profile.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -51,6 +55,8 @@ func main() {
 		maxBytes  = flag.Int64("max-bytes", 0, "abort when modeled mining memory exceeds this many bytes (0 = no limit)")
 		maxSets   = flag.Uint64("max-itemsets", 0, "abort after emitting this many itemsets (0 = no limit)")
 		trace     = flag.String("trace", "", "write a JSONL trace (phase spans + summary) to this file")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+		sample    = flag.Duration("sample", 0, "poll runtime stats at this interval into the trace stream, e.g. 100ms (0 = off)")
 		metrics   = flag.String("metrics-addr", "", "serve expvar/pprof/metrics over HTTP on this address, e.g. localhost:6060")
 		profile   = flag.String("profile", "", "write a CPU profile to this file")
 	)
@@ -87,7 +93,7 @@ func main() {
 		}
 		cleanup(func() { f.Close() })
 		rec = cfpgrowth.NewRecorder(obs.NewJSONLSink(f))
-	} else if *metrics != "" {
+	} else if *traceOut != "" || *sample > 0 || *metrics != "" {
 		rec = cfpgrowth.NewRecorder(nil)
 	}
 	if rec != nil {
@@ -95,6 +101,32 @@ func main() {
 		// LIFO: the summary event is written before the trace file
 		// closes, on success and failure exits alike.
 		cleanup(rec.EmitSummary)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		tr := obs.NewTrace(workers, 1<<14)
+		rec.AttachTrace(tr)
+		cleanup(func() {
+			if _, dropped := tr.Events(); dropped > 0 {
+				fmt.Fprintf(os.Stderr, "cfpmine: trace-out: %d spans lost to ring overwrites\n", dropped)
+			}
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cfpmine: trace-out:", err)
+			}
+			f.Close()
+		})
+	}
+	if *sample > 0 {
+		// Registered after EmitSummary, so LIFO stops the sampler (one
+		// final poll included) before the summary snapshots the gauges.
+		cleanup(rec.StartSampler(*sample).Stop)
 	}
 	if *metrics != "" {
 		rec.Publish("cfpmine")

@@ -30,6 +30,13 @@
 // — returned, passed to a call, assigned to a field, or captured by a
 // non-deferred literal that mentions it — is assumed ended by its new
 // owner.
+//
+// Child spans follow the same rule: StartChild is a start like Start,
+// and the builder methods With/WithWorker are transparent — a chained
+// `csp := rec.StartChild(sp, "x").WithWorker(w).With("k", v)` tracks
+// csp back to the StartChild call. Passing an open span as StartChild's
+// parent argument is a read, not a handoff: the parent stays tracked
+// and still needs its own End.
 package obsguard
 
 import (
@@ -48,10 +55,11 @@ import (
 // itself, which implements spans, is exempt.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsguard",
-	Doc: `requires every obs span started ((*obs.Recorder).Start) to be
-ended ((obs.Span).End) on every return path of the same function
-scope, tracked path-sensitively over the CFG, so no phase measurement
-is silently dropped from traces`,
+	Doc: `requires every obs span started ((*obs.Recorder).Start or
+StartChild, through any With/WithWorker builder chain) to be ended
+((obs.Span).End) on every return path of the same function scope,
+tracked path-sensitively over the CFG, so no phase measurement or
+trace event is silently dropped`,
 	Run: run,
 }
 
@@ -166,13 +174,32 @@ func (p obsProblem) scanExpr(s state, n ast.Node) {
 	dataflow.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
 		case *ast.CallExpr:
-			if fn := analysis.Callee(info, m); fn != nil && isSpanEnd(fn) {
+			fn := analysis.Callee(info, m)
+			if fn != nil && isSpanEnd(fn) {
 				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
 					if obj := identObj(info, sel.X); obj != nil {
 						dropOpens(s, obj)
 						return false // receiver consumed; don't treat as escape
 					}
 				}
+			}
+			if fn != nil && isRecorderStart(fn) {
+				// A start call reads its span arguments (StartChild's
+				// parent) without consuming them: scan the receiver and
+				// non-span arguments, but leave a plain span-ident
+				// argument tracked-open — the parent still needs its own
+				// End, and its later End must not look like a re-End of
+				// an escaped value.
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok {
+					p.scanExpr(s, sel.X)
+				}
+				for _, arg := range m.Args {
+					if obj := identObj(info, arg); obj != nil && isSpanType(obj.Type()) {
+						continue
+					}
+					p.scanExpr(s, arg)
+				}
+				return false
 			}
 		case *ast.FuncLit:
 			// A literal capturing a tracked span variable may end it:
@@ -371,14 +398,24 @@ func hasLaterEnd(pass *analysis.Pass, body *ast.BlockStmt, k openKey) bool {
 	return found
 }
 
-// startCall returns e as a (*obs.Recorder).Start call, or nil.
+// startCall returns e as a (*obs.Recorder).Start or StartChild call —
+// unwrapping any With/WithWorker builder chain hanging off it — or nil.
 func startCall(info *types.Info, e ast.Expr) *ast.CallExpr {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return nil
 	}
-	if fn := analysis.Callee(info, call); fn != nil && isRecorderStart(fn) {
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return nil
+	}
+	if isRecorderStart(fn) {
 		return call
+	}
+	if isSpanBuilder(fn) {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return startCall(info, sel.X)
+		}
 	}
 	return nil
 }
@@ -395,9 +432,17 @@ func identObj(info *types.Info, e ast.Expr) types.Object {
 	return info.Defs[id]
 }
 
-// isRecorderStart reports whether fn is (*obs.Recorder).Start.
+// isRecorderStart reports whether fn is (*obs.Recorder).Start or
+// StartChild; both open a span the caller must End.
 func isRecorderStart(fn *types.Func) bool {
-	return fn.Name() == "Start" && hasObsRecv(fn, "Recorder")
+	return (fn.Name() == "Start" || fn.Name() == "StartChild") && hasObsRecv(fn, "Recorder")
+}
+
+// isSpanBuilder reports whether fn is a (obs.Span) builder method
+// (With, WithWorker): value-in, value-out attribute setters that a
+// start call chains through before the result is assigned.
+func isSpanBuilder(fn *types.Func) bool {
+	return (fn.Name() == "With" || fn.Name() == "WithWorker") && hasObsRecv(fn, "Span")
 }
 
 // isSpanEnd reports whether fn is (obs.Span).End.

@@ -159,6 +159,61 @@ func deferBeforeStart(rec *obs.Recorder) {
 	work()
 }
 
+// childEnded is the canonical child-span shape: the chained builder
+// form tracks back to the StartChild call, and both spans are ended.
+func childEnded(rec *obs.Recorder, parent obs.Span, w int) {
+	csp := rec.StartChild(parent, "mine-item").WithWorker(w).With("shard", 3)
+	work()
+	csp.End()
+}
+
+// childNeverEnded drops a child span: StartChild opens a span exactly
+// like Start does, builder chain or not.
+func childNeverEnded(rec *obs.Recorder, parent obs.Span) {
+	rec.StartChild(parent, "mine-item") // want `obs span started here is never ended`
+}
+
+// childReturnBetween exits between the child's StartChild and End.
+func childReturnBetween(rec *obs.Recorder, parent obs.Span, fail bool) error {
+	csp := rec.StartChild(parent, "mine-item").With("rank", 7) // want `obs span started here is not ended on every return path`
+	if fail {
+		return errBoom
+	}
+	csp.End()
+	return nil
+}
+
+// parentSurvivesStartChild: passing an open span as the parent argument
+// is a read, not a handoff — the parent stays tracked, so dropping it
+// afterwards is still reported.
+func parentSurvivesStartChild(rec *obs.Recorder) {
+	sp := rec.Start(obs.PhaseMine) // want `obs span started here is never ended`
+	csp := rec.StartChild(sp, "mine-item")
+	csp.End()
+}
+
+// parentAndChildBothEnded is the full happy path of the hierarchy:
+// parent read by StartChild, child ended per item, parent ended last.
+func parentAndChildBothEnded(rec *obs.Recorder, xs []int) {
+	sp := rec.Start(obs.PhaseMine)
+	for range xs {
+		csp := rec.StartChild(sp, "mine-item").WithWorker(0)
+		work()
+		csp.End()
+	}
+	sp.End()
+}
+
+// deferredChildEnd: a child's End can be deferred like any span's.
+func deferredChildEnd(rec *obs.Recorder, parent obs.Span, fail bool) error {
+	csp := rec.StartChild(parent, "mine-group").With("group", 1)
+	defer csp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
 func work() {}
 
 func scan(fn func(int) error) error {

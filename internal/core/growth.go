@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"slices"
+	"time"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
@@ -40,6 +41,11 @@ func (Growth) Name() string { return "cfpgrowth" }
 func (g Growth) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error {
 	if err := g.Ctl.Err(); err != nil {
 		return err
+	}
+	if g.Rec != nil {
+		// One sample per Mine call: the per-query latency distribution
+		// (time.Now() binds at the defer, covering every return path).
+		defer g.Rec.ObserveSince(obs.HistQuery, time.Now())
 	}
 	track := observedTracker(g.Track, g.Rec)
 	sp := g.Rec.Start(obs.PhasePass1)
@@ -330,10 +336,15 @@ func (m *cfpGrower) mineRoot(t *Tree) error {
 func (m *cfpGrower) mineTree(t *Tree, prefix []uint32) error {
 	if m.rec != nil {
 		// Fold this tree's composition into the run counters before it
-		// is converted and recycled.
+		// is converted and recycled, and time the whole conditional
+		// subproblem (this tree's conversion plus its entire recursion)
+		// into the per-conditional-mine latency histogram. The deferred
+		// sample covers error returns too; a disabled recorder pays
+		// exactly this one nil check.
 		foldTreeCounters(m.rec, t)
 		m.rec.Add(obs.CtrCondTrees, 1)
 		m.rec.ObserveDepth(len(prefix))
+		defer m.rec.ObserveSince(obs.HistCondMine, time.Now())
 	}
 	treeBytes := t.Extent()
 	m.track.Alloc(treeBytes)

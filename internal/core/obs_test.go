@@ -215,3 +215,118 @@ func TestObsSerialParallelAgree(t *testing.T) {
 			recS.Count(obs.CtrItemsets), recP.Count(obs.CtrItemsets))
 	}
 }
+
+// TestObsMineHistograms: both miners must populate the per-query and
+// per-conditional-mine latency histograms, and in the sharded miner the
+// per-shard samples must merge losslessly into the parent recorder
+// (the bucket-wise merge is exact, so serial and parallel sample
+// counts agree on the same input).
+func TestObsMineHistograms(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	recS, recP := obs.New(nil), obs.New(nil)
+	var s1, s2 mine.CountSink
+	if err := (Growth{Rec: recS}).Mine(db, 10, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ParallelGrowth{Workers: 4, Shards: 8, Rec: recP}).Mine(db, 10, &s2); err != nil {
+		t.Fatal(err)
+	}
+	for name, rec := range map[string]*obs.Recorder{"serial": recS, "parallel": recP} {
+		if got := rec.Histogram(obs.HistQuery).Count(); got != 1 {
+			t.Errorf("%s: query samples = %d, want 1", name, got)
+		}
+		if got := rec.Histogram(obs.HistCondMine).Count(); got <= 0 {
+			t.Errorf("%s: no conditional-mine samples", name)
+		}
+	}
+	cs, cp := recS.Histogram(obs.HistCondMine).Count(), recP.Histogram(obs.HistCondMine).Count()
+	if cs != cp {
+		t.Errorf("conditional-mine samples diverge: serial %d, parallel %d", cs, cp)
+	}
+}
+
+// TestObsMinePoolStats: the sharded miner must attach per-shard and
+// per-worker pool accounting whose job total covers every top-level
+// item exactly once.
+func TestObsMinePoolStats(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	rec := obs.New(nil)
+	var sink mine.CountSink
+	if err := (ParallelGrowth{Workers: 4, Shards: 4, Rec: rec}).Mine(db, 10, &sink); err != nil {
+		t.Fatal(err)
+	}
+	shards, workers := rec.MinePool()
+	if len(shards) != 4 || len(workers) != 4 {
+		t.Fatalf("pool shape = %d shards / %d workers, want 4/4", len(shards), len(workers))
+	}
+	var shardJobs, queued, workerJobs int64
+	for _, s := range shards {
+		shardJobs += s.Jobs
+		queued += s.Queue
+	}
+	for _, w := range workers {
+		workerJobs += w.Jobs
+	}
+	if shardJobs != queued || shardJobs != workerJobs {
+		t.Errorf("jobs: %d executed, %d queued, %d by workers — all must agree",
+			shardJobs, queued, workerJobs)
+	}
+	// The serial miner attaches no pool.
+	recS := obs.New(nil)
+	var s2 mine.CountSink
+	if err := (Growth{Rec: recS}).Mine(db, 10, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s, w := recS.MinePool(); len(s) != 0 || len(w) != 0 {
+		t.Errorf("serial miner attached a pool: %d/%d", len(s), len(w))
+	}
+}
+
+// TestObsParallelTraceChildren: with a trace attached, the sharded
+// mine emits one child span per top-level item under the mine phase
+// span, and the Chrome export round-trips.
+func TestObsParallelTraceChildren(t *testing.T) {
+	db := obsDB(300, 8, 30)
+	rec := obs.New(nil)
+	tr := obs.NewTrace(4, 1<<12)
+	rec.AttachTrace(tr)
+	var sink mine.CountSink
+	if err := (ParallelGrowth{Workers: 4, Shards: 4, Rec: rec}).Mine(db, 10, &sink); err != nil {
+		t.Fatal(err)
+	}
+	evs, dropped := tr.Events()
+	if dropped != 0 {
+		t.Fatalf("%d trace events dropped with an oversized ring", dropped)
+	}
+	var mineID uint64
+	items := 0
+	for _, ev := range evs {
+		if ev.Name == obs.PhaseMine {
+			mineID = ev.ID
+		}
+	}
+	if mineID == 0 {
+		t.Fatal("mine phase span missing from trace")
+	}
+	for _, ev := range evs {
+		if ev.Name != "mine-item" {
+			continue
+		}
+		items++
+		if ev.Parent != mineID {
+			t.Errorf("mine-item parent = %d, want mine span %d", ev.Parent, mineID)
+		}
+	}
+	shards, _ := rec.MinePool()
+	var queued int64
+	for _, s := range shards {
+		queued += s.Queue
+	}
+	if int64(items) != queued {
+		t.Errorf("trace has %d mine-item children, pool queued %d jobs", items, queued)
+	}
+	// Phase aggregates must not absorb the children.
+	if ps := rec.Snapshot().Phases[obs.PhaseMine]; ps.Count != 1 {
+		t.Errorf("mine phase span count = %d, want 1 (children are trace-only)", ps.Count)
+	}
+}

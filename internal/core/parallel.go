@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"runtime"
+	"time"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/dataset"
@@ -69,6 +70,12 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	}
 	if err := ctl.Err(); err != nil {
 		return err
+	}
+	if g.Rec != nil {
+		// One sample per Mine call: the per-query latency a serving
+		// layer reports (time.Now() binds at the defer, so the sample
+		// covers the whole call on every return path).
+		defer g.Rec.ObserveSince(obs.HistQuery, time.Now())
 	}
 	// The caller's tracker needs a mutex under concurrent workers; the
 	// recorder is atomic and is teed in unsynchronized.
@@ -219,10 +226,28 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 		}
 	}
 	track.Alloc(topDecBytes)
-	err = mine.RunSharded(workers, shards, ctl, func(worker, shard, rank int) error {
+	// Pool accounting (jobs, steals, busy/idle) is collected whenever a
+	// recorder is attached; the per-job clock reads are noise against
+	// whole conditional subproblems.
+	var pool *mine.ShardMetrics
+	if g.Rec != nil {
+		pool = mine.NewShardMetrics(workers, shards)
+	}
+	tracing := g.Rec.Tracing()
+	err = mine.RunShardedObserved(workers, shards, ctl, pool, func(worker, shard, rank int) error {
 		m := growers[worker]
 		if shardRecs != nil {
 			m.rec = shardRecs[shard]
+		}
+		if tracing {
+			// One child span per top-level item: the trace's
+			// hierarchical detail under the single mine phase span,
+			// attributed to the executing worker's ring.
+			csp := g.Rec.StartChild(sp, "mine-item").WithWorker(worker).
+				With("shard", int64(shard)).With("rank", int64(rank))
+			err := m.mineTopItem(arr, topDec, uint32(rank&0xffffffff))
+			csp.End()
+			return err
 		}
 		return m.mineTopItem(arr, topDec, uint32(rank&0xffffffff))
 	})
@@ -232,5 +257,35 @@ func (g ParallelGrowth) Mine(src dataset.Source, minSupport uint64, sink mine.Si
 	for _, sr := range shardRecs {
 		g.Rec.Merge(sr)
 	}
+	foldPoolMetrics(g.Rec, pool)
 	return err
+}
+
+// foldPoolMetrics converts a drained pool's accounting into the
+// recorder's mine-pool stats; nil recorder or pool is a no-op.
+func foldPoolMetrics(rec *obs.Recorder, pool *mine.ShardMetrics) {
+	if rec == nil || pool == nil {
+		return
+	}
+	shards := make([]obs.ShardStat, len(pool.Shards))
+	for i := range pool.Shards {
+		sc := &pool.Shards[i]
+		shards[i] = obs.ShardStat{
+			Queue:      sc.Queue,
+			Jobs:       sc.Jobs.Load(),
+			Steals:     sc.Steals.Load(),
+			StealFails: sc.StealFails.Load(),
+			BusyNanos:  sc.BusyNanos.Load(),
+		}
+	}
+	workers := make([]obs.WorkerStat, len(pool.Workers))
+	for i, wc := range pool.Workers {
+		workers[i] = obs.WorkerStat{
+			Jobs:      wc.Jobs,
+			Steals:    wc.Steals,
+			BusyNanos: wc.BusyNanos,
+			IdleNanos: wc.IdleNanos,
+		}
+	}
+	rec.SetMinePool(shards, workers)
 }

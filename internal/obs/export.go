@@ -12,12 +12,13 @@ import (
 )
 
 // Event is one record of the JSONL trace stream. Span events carry the
-// phase name, duration and byte delta; the final summary event carries
-// the cumulative counters and phase aggregates (schema: docs/FORMAT.md
-// §7).
+// phase name, duration and byte delta; sample events carry the runtime
+// sampler's observation; the final summary event carries the
+// cumulative counters, phase aggregates, and latency histograms
+// (schema: docs/FORMAT.md §7).
 type Event struct {
 	TimeUnixNano int64                `json:"ts"`
-	Ev           string               `json:"ev"` // "span" | "summary"
+	Ev           string               `json:"ev"` // "span" | "sample" | "summary"
 	Name         string               `json:"name,omitempty"`
 	DurNanos     int64                `json:"dur_ns,omitempty"`
 	BytesDelta   int64                `json:"bytes_delta,omitempty"`
@@ -26,6 +27,12 @@ type Event struct {
 	MaxDepth     int64                `json:"max_depth,omitempty"`
 	Counters     map[string]int64     `json:"counters,omitempty"`
 	Phases       map[string]PhaseStat `json:"phases,omitempty"`
+	Hists        map[string]HistStat  `json:"hists,omitempty"`
+	// Runtime sampler fields (sample events only).
+	HeapBytes    uint64 `json:"heap_bytes,omitempty"`
+	Goroutines   int    `json:"goroutines,omitempty"`
+	NumGC        uint32 `json:"num_gc,omitempty"`
+	GCPauseNanos uint64 `json:"gc_pause_ns,omitempty"`
 }
 
 // EventSink receives trace events. Implementations must be safe for
@@ -88,7 +95,8 @@ func (r *Recorder) Publish(name string) {
 
 // Server is the opt-in observability HTTP endpoint of a long mining
 // run: expvar under /debug/vars, the pprof profile family under
-// /debug/pprof/, and the recorder snapshot as JSON under /metrics.
+// /debug/pprof/, the recorder snapshot as JSON under /metrics, and the
+// Prometheus text exposition under /metrics/prometheus.
 type Server struct {
 	srv *http.Server
 	ln  net.Listener
@@ -110,6 +118,10 @@ func Serve(addr string, r *Recorder) (*Server, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -96,14 +96,29 @@ func (p PhaseStat) Millis() float64 { return float64(p.Nanos) / 1e6 }
 // nil receiver (every operation becomes a no-op).
 type Recorder struct {
 	counters  [numCounters]atomic.Int64
+	hists     [numHists]Histogram
 	curBytes  atomic.Int64
 	peakBytes atomic.Int64
 	maxDepth  atomic.Int64
 
-	mu     sync.Mutex
-	phases map[string]PhaseStat
-	sink   EventSink
-	start  time.Time
+	// Runtime gauges, fed by the Sampler (sample.go).
+	heapBytes    atomic.Int64
+	goroutines   atomic.Int64
+	numGC        atomic.Int64
+	gcPauseNanos atomic.Int64
+	samples      atomic.Int64
+
+	// spanSeq allocates span ids; trace, when attached, buffers
+	// completed spans hierarchically (trace.go).
+	spanSeq atomic.Uint64
+	trace   atomic.Pointer[Trace]
+
+	mu      sync.Mutex
+	phases  map[string]PhaseStat
+	shards  []ShardStat
+	workers []WorkerStat
+	sink    EventSink
+	start   time.Time
 }
 
 // New returns a Recorder, optionally exporting span and summary events
@@ -190,24 +205,198 @@ func (r *Recorder) MaxDepth() int64 {
 	return r.maxDepth.Load()
 }
 
+// Histogram returns the named latency histogram, or nil on a nil
+// recorder or unknown name (the *Histogram methods tolerate nil, so
+// call sites need no check).
+func (r *Recorder) Histogram(h Hist) *Histogram {
+	if r == nil || h < 0 || h >= numHists {
+		return nil
+	}
+	return &r.hists[h]
+}
+
+// Clock returns the current time, or the zero time on a nil recorder;
+// paired with ObserveSince it brackets a duration sample at the cost
+// of one nil check per site when observability is off.
+func (r *Recorder) Clock() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records time-since-t0 into histogram h; a nil recorder
+// or a zero t0 (a Clock call on a nil recorder) records nothing.
+//
+// One call per conditional subproblem on the mine path: no
+// allocation, no formatting.
+//
+//cfplint:hot
+func (r *Recorder) ObserveSince(h Hist, t0 time.Time) {
+	if r == nil || h < 0 || h >= numHists || t0.IsZero() {
+		return
+	}
+	r.hists[h].Record(time.Since(t0))
+}
+
+// ShardStat is one shard's mine-pool accounting: seeded queue depth,
+// jobs executed, jobs executed by a non-owner worker (steals), failed
+// steal attempts against the shard, and total busy time spent in the
+// shard's jobs.
+type ShardStat struct {
+	Queue      int64 `json:"queue"`
+	Jobs       int64 `json:"jobs"`
+	Steals     int64 `json:"steals"`
+	StealFails int64 `json:"steal_fails"`
+	BusyNanos  int64 `json:"busy_ns"`
+}
+
+// WorkerStat is one worker's mine-pool accounting: jobs executed,
+// jobs stolen from shards it does not own, time spent executing jobs,
+// and idle time (pool lifetime minus busy).
+type WorkerStat struct {
+	Jobs      int64 `json:"jobs"`
+	Steals    int64 `json:"steals"`
+	BusyNanos int64 `json:"busy_ns"`
+	IdleNanos int64 `json:"idle_ns"`
+}
+
+// SetMinePool attaches the sharded mine pool's per-shard and
+// per-worker accounting; the slices are copied. Miners call it once
+// per run after the pool drains.
+func (r *Recorder) SetMinePool(shards []ShardStat, workers []WorkerStat) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.shards = append([]ShardStat(nil), shards...)
+	r.workers = append([]WorkerStat(nil), workers...)
+	r.mu.Unlock()
+}
+
+// MinePool returns copies of the attached mine-pool accounting (nil
+// when no sharded mine ran).
+func (r *Recorder) MinePool() (shards []ShardStat, workers []WorkerStat) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ShardStat(nil), r.shards...), append([]WorkerStat(nil), r.workers...)
+}
+
+// Runtime returns the sampler's latest runtime observation (zeros when
+// no sampler ran).
+func (r *Recorder) Runtime() RuntimeStat {
+	if r == nil {
+		return RuntimeStat{}
+	}
+	return RuntimeStat{
+		Samples:      r.samples.Load(),
+		HeapBytes:    r.heapBytes.Load(),
+		Goroutines:   r.goroutines.Load(),
+		NumGC:        r.numGC.Load(),
+		GCPauseNanos: r.gcPauseNanos.Load(),
+	}
+}
+
 // Span is one phase-scoped measurement in flight. The zero value (and
 // any span started on a nil Recorder) is inert: End is a no-op, so
 // conditional instrumentation can declare a span and start it only on
 // some paths.
+//
+// When a Trace is attached to the recorder, every span additionally
+// carries an id, a parent id, a worker index, and up to maxSpanAttrs
+// key/value attributes; ended spans are buffered in the trace's
+// per-worker rings and exportable as Chrome trace-event JSON. Without
+// a trace, ids are not allocated and spans behave exactly as before.
 type Span struct {
 	rec    *Recorder
 	name   string
 	t0     time.Time
 	bytes0 int64
+	id     uint64
+	parent uint64
+	worker int32
+	nattrs int8
+	attrs  [maxSpanAttrs]Attr
 }
 
-// Start begins a span of the named phase, capturing wall clock and the
-// current byte gauge.
+// Start begins a root span of the named phase, capturing wall clock
+// and the current byte gauge. Root spans fold into the phase
+// aggregates on End; with a trace attached they also receive a span id
+// and are buffered as trace events.
 func (r *Recorder) Start(name string) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{rec: r, name: name, t0: time.Now(), bytes0: r.curBytes.Load()}
+	sp := Span{rec: r, name: name, t0: time.Now(), bytes0: r.curBytes.Load()}
+	if r.trace.Load() != nil {
+		sp.id = r.spanSeq.Add(1)
+	}
+	return sp
+}
+
+// StartChild begins a span nested under parent. Child spans exist for
+// the trace hierarchy — per-top-item mine tasks, per-partition shard
+// work — and are buffered in the trace rings only: they do not fold
+// into the phase aggregates (thousands of children would distort the
+// per-phase sums the bench schema validates) and do not emit JSONL
+// span events. Without an attached trace, StartChild returns an inert
+// span, so instrumented code pays one pointer load per site; the
+// inert span's End and attribute setters are no-ops.
+func (r *Recorder) StartChild(parent Span, name string) Span {
+	if r == nil || r.trace.Load() == nil {
+		return Span{}
+	}
+	return Span{
+		rec:    r,
+		name:   name,
+		t0:     time.Now(),
+		bytes0: r.curBytes.Load(),
+		id:     r.spanSeq.Add(1),
+		parent: parent.id,
+		worker: parent.worker,
+	}
+}
+
+// With attaches an integral key/value attribute (shard index,
+// conditional-tree rank, partition, ...) and returns the span.
+// Attributes beyond the inline capacity are dropped. Inert spans
+// ignore attributes.
+func (sp Span) With(key string, val int64) Span {
+	if sp.rec == nil || int(sp.nattrs) >= maxSpanAttrs {
+		return sp
+	}
+	sp.attrs[sp.nattrs] = Attr{Key: key, Val: val}
+	sp.nattrs++
+	return sp
+}
+
+// WithWorker pins the span (and its future children) to a worker
+// index, selecting the trace ring its event is buffered in. Inert
+// spans stay zero, so untraced runs compare equal to Span{}.
+func (sp Span) WithWorker(w int) Span {
+	if sp.rec == nil {
+		return sp
+	}
+	sp.worker = int32(w & 0x7fffffff)
+	return sp
+}
+
+// AttachTrace attaches a trace buffer; spans started afterwards are
+// assigned ids and buffered on End. Attach before the run starts and
+// export after it completes (Trace.Events reads unsynchronized).
+func (r *Recorder) AttachTrace(t *Trace) {
+	if r == nil {
+		return
+	}
+	r.trace.Store(t)
+}
+
+// Tracing reports whether a trace buffer is attached.
+func (r *Recorder) Tracing() bool {
+	return r != nil && r.trace.Load() != nil
 }
 
 // End completes the span: its duration and byte delta are folded into
@@ -223,6 +412,27 @@ func (sp Span) End() {
 	}
 	dur := time.Since(sp.t0)
 	delta := r.curBytes.Load() - sp.bytes0
+	if sp.id != 0 {
+		if t := r.trace.Load(); t != nil {
+			t.record(sp.worker, TraceEvent{
+				ID:     sp.id,
+				Parent: sp.parent,
+				Name:   sp.name,
+				Worker: sp.worker,
+				Start:  sp.t0.Sub(t.epoch).Nanoseconds(),
+				Dur:    int64(dur),
+				NAttrs: sp.nattrs,
+				Attrs:  sp.attrs,
+			})
+		}
+	}
+	if sp.parent != 0 {
+		// Child spans live in the trace hierarchy only: folding
+		// thousands of per-item children into the phase aggregates (or
+		// the JSONL stream) would distort the per-phase sums the bench
+		// schema validates against wall time.
+		return
+	}
 	r.mu.Lock()
 	if r.phases == nil {
 		r.phases = make(map[string]PhaseStat)
@@ -264,7 +474,24 @@ func (r *Recorder) Merge(src *Recorder) {
 			r.counters[c].Add(v)
 		}
 	}
+	// Histograms merge bucket-wise: associative and order-independent,
+	// so the shard-order fold yields the same distribution as any
+	// other merge order.
+	for h := Hist(0); h < numHists; h++ {
+		r.hists[h].MergeFrom(&src.hists[h])
+	}
 	r.ObserveDepth(int(src.maxDepth.Load()))
+	// Mine-pool accounting: recorders carry at most one pool per run,
+	// so a source pool replaces an absent destination pool and is
+	// otherwise added element-wise (shard-private recorders never carry
+	// pools; this arm exists for run-over-run aggregation).
+	srcShards, srcWorkers := src.MinePool()
+	if len(srcShards) > 0 || len(srcWorkers) > 0 {
+		r.mu.Lock()
+		r.shards = mergeShardStats(r.shards, srcShards)
+		r.workers = mergeWorkerStats(r.workers, srcWorkers)
+		r.mu.Unlock()
+	}
 	// Copy out under src's lock, fold under r's: the locks are never
 	// held together, so merge direction cannot deadlock.
 	src.mu.Lock()
@@ -290,6 +517,38 @@ func (r *Recorder) Merge(src *Recorder) {
 	r.mu.Unlock()
 }
 
+// mergeShardStats folds src into dst element-wise, extending dst when
+// src is longer.
+func mergeShardStats(dst, src []ShardStat) []ShardStat {
+	for i, s := range src {
+		if i < len(dst) {
+			dst[i].Queue += s.Queue
+			dst[i].Jobs += s.Jobs
+			dst[i].Steals += s.Steals
+			dst[i].StealFails += s.StealFails
+			dst[i].BusyNanos += s.BusyNanos
+		} else {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// mergeWorkerStats is mergeShardStats for worker accounting.
+func mergeWorkerStats(dst, src []WorkerStat) []WorkerStat {
+	for i, s := range src {
+		if i < len(dst) {
+			dst[i].Jobs += s.Jobs
+			dst[i].Steals += s.Steals
+			dst[i].BusyNanos += s.BusyNanos
+			dst[i].IdleNanos += s.IdleNanos
+		} else {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
 // Phases returns a copy of the per-phase aggregates.
 func (r *Recorder) Phases() map[string]PhaseStat {
 	if r == nil {
@@ -313,6 +572,16 @@ type Snapshot struct {
 	MaxDepth     int64                `json:"max_depth"`
 	Counters     map[string]int64     `json:"counters"`
 	Phases       map[string]PhaseStat `json:"phases"`
+	// Hists carries the latency histograms with extracted percentiles;
+	// empty histograms are omitted.
+	Hists map[string]HistStat `json:"hists,omitempty"`
+	// Shards and Workers carry the sharded mine pool's accounting when
+	// a sharded mine ran.
+	Shards  []ShardStat  `json:"shards,omitempty"`
+	Workers []WorkerStat `json:"workers,omitempty"`
+	// Runtime is the sampler's latest observation (omitted when no
+	// sampler ran).
+	Runtime *RuntimeStat `json:"runtime,omitempty"`
 }
 
 // Snapshot captures the recorder's current state.
@@ -334,6 +603,18 @@ func (r *Recorder) Snapshot() Snapshot {
 		if v := r.counters[c].Load(); v != 0 {
 			s.Counters[c.String()] = v
 		}
+	}
+	for h := Hist(0); h < numHists; h++ {
+		if st := r.hists[h].Stat(); st.Count > 0 {
+			if s.Hists == nil {
+				s.Hists = make(map[string]HistStat, numHists)
+			}
+			s.Hists[h.String()] = st
+		}
+	}
+	s.Shards, s.Workers = r.MinePool()
+	if rt := r.Runtime(); rt.Samples > 0 {
+		s.Runtime = &rt
 	}
 	return s
 }
@@ -359,5 +640,6 @@ func (r *Recorder) EmitSummary() {
 		MaxDepth:     s.MaxDepth,
 		Counters:     s.Counters,
 		Phases:       s.Phases,
+		Hists:        s.Hists,
 	})
 }

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus writes the recorder's state in the Prometheus text
+// exposition format (version 0.0.4): counters as `cfp_<name>_total`,
+// byte gauges and runtime gauges as plain gauges, phase aggregates as
+// labeled counters, latency histograms as classic cumulative-bucket
+// Prometheus histograms, and the sharded mine pool's accounting as
+// per-shard/per-worker labeled counters. Metrics are emitted in a
+// deterministic order. A nil recorder writes nothing.
+//
+// The exporter is pull-format only; serving it is the caller's choice
+// (obs.Serve mounts it at /metrics/prometheus).
+func (r *Recorder) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.Snapshot()
+
+	fmt.Fprintf(w, "# HELP cfp_cur_bytes Modeled structure bytes currently live.\n# TYPE cfp_cur_bytes gauge\ncfp_cur_bytes %d\n", s.CurBytes)
+	fmt.Fprintf(w, "# HELP cfp_peak_bytes Modeled structure byte high-water mark.\n# TYPE cfp_peak_bytes gauge\ncfp_peak_bytes %d\n", s.PeakBytes)
+	fmt.Fprintf(w, "# HELP cfp_max_depth Deepest conditional recursion observed.\n# TYPE cfp_max_depth gauge\ncfp_max_depth %d\n", s.MaxDepth)
+
+	for c := Counter(0); c < numCounters; c++ {
+		fmt.Fprintf(w, "# TYPE cfp_%s_total counter\ncfp_%s_total %d\n", c.String(), c.String(), r.Count(c))
+	}
+
+	names := make([]string, 0, len(s.Phases))
+	for name := range s.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# HELP cfp_phase_seconds_total Wall time folded into each phase.\n# TYPE cfp_phase_seconds_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "cfp_phase_seconds_total{phase=%q} %g\n", name, float64(s.Phases[name].Nanos)/1e9)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_phase_spans_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "cfp_phase_spans_total{phase=%q} %d\n", name, s.Phases[name].Count)
+		}
+	}
+
+	for h := Hist(0); h < numHists; h++ {
+		writePromHistogram(w, "cfp_"+h.String()+"_seconds", r.Histogram(h))
+	}
+
+	shards, workers := r.MinePool()
+	if len(shards) > 0 {
+		fmt.Fprintf(w, "# HELP cfp_shard_jobs_total Jobs executed per mine shard.\n# TYPE cfp_shard_jobs_total counter\n")
+		for i, sh := range shards {
+			fmt.Fprintf(w, "cfp_shard_jobs_total{shard=\"%d\"} %d\n", i, sh.Jobs)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_shard_steals_total counter\n")
+		for i, sh := range shards {
+			fmt.Fprintf(w, "cfp_shard_steals_total{shard=\"%d\"} %d\n", i, sh.Steals)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_shard_steal_fails_total counter\n")
+		for i, sh := range shards {
+			fmt.Fprintf(w, "cfp_shard_steal_fails_total{shard=\"%d\"} %d\n", i, sh.StealFails)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_shard_busy_seconds_total counter\n")
+		for i, sh := range shards {
+			fmt.Fprintf(w, "cfp_shard_busy_seconds_total{shard=\"%d\"} %g\n", i, float64(sh.BusyNanos)/1e9)
+		}
+	}
+	if len(workers) > 0 {
+		fmt.Fprintf(w, "# TYPE cfp_worker_jobs_total counter\n")
+		for i, wk := range workers {
+			fmt.Fprintf(w, "cfp_worker_jobs_total{worker=\"%d\"} %d\n", i, wk.Jobs)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_worker_busy_seconds_total counter\n")
+		for i, wk := range workers {
+			fmt.Fprintf(w, "cfp_worker_busy_seconds_total{worker=\"%d\"} %g\n", i, float64(wk.BusyNanos)/1e9)
+		}
+		fmt.Fprintf(w, "# TYPE cfp_worker_idle_seconds_total counter\n")
+		for i, wk := range workers {
+			fmt.Fprintf(w, "cfp_worker_idle_seconds_total{worker=\"%d\"} %g\n", i, float64(wk.IdleNanos)/1e9)
+		}
+	}
+
+	rt := r.Runtime()
+	if rt.Samples > 0 {
+		fmt.Fprintf(w, "# HELP cfp_heap_bytes Go heap bytes in use at the last runtime sample.\n# TYPE cfp_heap_bytes gauge\ncfp_heap_bytes %d\n", rt.HeapBytes)
+		fmt.Fprintf(w, "# TYPE cfp_goroutines gauge\ncfp_goroutines %d\n", rt.Goroutines)
+		fmt.Fprintf(w, "# TYPE cfp_gc_cycles_total counter\ncfp_gc_cycles_total %d\n", rt.NumGC)
+		fmt.Fprintf(w, "# TYPE cfp_gc_pause_seconds_total counter\ncfp_gc_pause_seconds_total %g\n", float64(rt.GCPauseNanos)/1e9)
+		fmt.Fprintf(w, "# TYPE cfp_runtime_samples_total counter\ncfp_runtime_samples_total %d\n", rt.Samples)
+	}
+}
+
+// writePromHistogram emits one histogram in the classic Prometheus
+// shape: cumulative `_bucket{le="..."}` series over the log2 bucket
+// bounds (up to the last non-empty bucket), a `+Inf` bucket, `_sum`,
+// and `_count`. Empty histograms are skipped.
+func writePromHistogram(w io.Writer, name string, h *Histogram) {
+	buckets := h.Buckets()
+	last := -1
+	for i, c := range buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last < 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += buckets[i]
+		_, hi := bucketBounds(i)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(hi), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.SumNanos())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// formatSeconds renders a nanosecond bucket bound as seconds.
+func formatSeconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}

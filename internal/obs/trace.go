@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpanAttrs is the inline attribute capacity of a span; attributes
+// beyond it are dropped (spans are stack values on hot paths, so the
+// capacity is fixed rather than heap-backed).
+const maxSpanAttrs = 3
+
+// Attr is one key/value span attribute (shard index, conditional-tree
+// rank, partition, ...). Values are integral: attributes exist for
+// machine grouping, not prose.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// TraceEvent is one completed span in a trace buffer: identity,
+// hierarchy, timing relative to the trace epoch, and attributes.
+type TraceEvent struct {
+	ID     uint64
+	Parent uint64 // 0 = root span
+	Name   string
+	Worker int32
+	Start  int64 // nanoseconds since the trace epoch
+	Dur    int64 // nanoseconds
+	NAttrs int8
+	Attrs  [maxSpanAttrs]Attr
+}
+
+// Trace buffers completed spans in per-worker rings. Each ring is
+// written by one worker only — the span's worker index selects it — so
+// a write is an atomic cursor bump plus a slot store, with no locks on
+// the mine path. When a ring wraps, the oldest events are overwritten
+// and counted as dropped; the phase aggregates and histograms are
+// unaffected (the trace is a sampling window, not the system of
+// record). Create one with NewTrace and attach it via
+// Recorder.AttachTrace before the run starts.
+type Trace struct {
+	epoch time.Time
+	rings []traceRing
+}
+
+// traceRing is a single-producer overwrite ring. The pad keeps two
+// rings' write cursors off one cache line, so workers don't false-share
+// while tracing the mine phase.
+type traceRing struct {
+	head atomic.Uint64 // total events written; slot = (head-1) % cap
+	buf  []TraceEvent
+	_    [48]byte
+}
+
+// NewTrace returns a trace buffer with one ring per worker slot, each
+// holding up to perWorker events (minimums of 1 worker and 16 events
+// are applied). The epoch is stamped now; span timestamps are relative
+// to it.
+func NewTrace(workers, perWorker int) *Trace {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 16 {
+		perWorker = 16
+	}
+	t := &Trace{epoch: time.Now(), rings: make([]traceRing, workers)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]TraceEvent, perWorker)
+	}
+	return t
+}
+
+// record stores one completed span into worker w's ring.
+func (t *Trace) record(w int32, ev TraceEvent) {
+	rg := &t.rings[int(w)%len(t.rings)]
+	i := rg.head.Add(1) - 1
+	rg.buf[i%uint64(len(rg.buf))] = ev
+}
+
+// Events returns the buffered spans sorted by start time, plus the
+// number of events lost to ring overwrites. Call it only after the
+// traced run has completed; it reads ring slots unsynchronized.
+func (t *Trace) Events() (evs []TraceEvent, dropped int64) {
+	if t == nil {
+		return nil, 0
+	}
+	for i := range t.rings {
+		rg := &t.rings[i]
+		n := rg.head.Load()
+		kept := n
+		if c := uint64(len(rg.buf)); kept > c {
+			kept = c
+			dropped += int64(n - c)
+		}
+		for j := uint64(0); j < kept; j++ {
+			evs = append(evs, rg.buf[(n-kept+j)%uint64(len(rg.buf))])
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].Start != evs[b].Start {
+			return evs[a].Start < evs[b].Start
+		}
+		return evs[a].ID < evs[b].ID
+	})
+	return evs, dropped
+}
+
+// chromeEvent is the on-disk shape of one Chrome trace-event ("X" =
+// complete event). Timestamps and durations are microseconds; args
+// carry the span id, parent id, and attributes, which is how the
+// hierarchy round-trips through the JSON (Perfetto itself nests by
+// tid + time containment).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	Pid  int64            `json:"pid"`
+	Tid  int64            `json:"tid"`
+	Args map[string]int64 `json:"args"`
+}
+
+// chromeFile is the JSON-object trace container Perfetto and
+// chrome://tracing load.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome serializes the buffered spans as Chrome trace-event JSON
+// (the {"traceEvents": [...]} object form), loadable in Perfetto or
+// chrome://tracing. Events are emitted in start order; each worker maps
+// to one tid, and every event's args carry "span" and "parent" ids so
+// the hierarchy survives tools that ignore time containment.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	evs, _ := t.Events()
+	out := chromeFile{TraceEvents: make([]chromeEvent, 0, len(evs))}
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  "cfp",
+			Ph:   "X",
+			Ts:   float64(ev.Start) / 1e3,
+			Dur:  float64(ev.Dur) / 1e3,
+			Pid:  1,
+			Tid:  int64(ev.Worker) + 1,
+			Args: make(map[string]int64, 2+int(ev.NAttrs)),
+		}
+		ce.Args["span"] = int64(ev.ID)
+		ce.Args["parent"] = int64(ev.Parent)
+		for i := int8(0); i < ev.NAttrs; i++ {
+			ce.Args[ev.Attrs[i].Key] = ev.Attrs[i].Val
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ChromeSpan is one parsed Chrome trace event, as returned by
+// ParseChromeTrace: timestamps back in nanoseconds, span/parent ids
+// lifted out of args.
+type ChromeSpan struct {
+	Name       string
+	StartNanos int64
+	DurNanos   int64
+	Worker     int64 // tid - 1
+	ID         uint64
+	Parent     uint64
+	Args       map[string]int64
+}
+
+// ParseChromeTrace parses data written by WriteChrome back into spans,
+// verifying the structural invariants a well-formed trace holds: valid
+// JSON in the traceEvents-object form, every event a complete ("X")
+// event with a nonnegative duration, span ids present and unique, and
+// every parent reference resolving to a span that temporally contains
+// its child. It is the round-trip check behind `cfpmine -trace-out`
+// and the trace tests.
+func ParseChromeTrace(data []byte) ([]ChromeSpan, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	spans := make([]ChromeSpan, 0, len(f.TraceEvents))
+	byID := make(map[uint64]ChromeSpan, len(f.TraceEvents))
+	for i, ce := range f.TraceEvents {
+		if ce.Ph != "X" {
+			return nil, fmt.Errorf("trace: event %d: phase %q, want complete event \"X\"", i, ce.Ph)
+		}
+		if ce.Dur < 0 || ce.Ts < 0 {
+			return nil, fmt.Errorf("trace: event %d (%s): negative timestamp or duration", i, ce.Name)
+		}
+		if ce.Name == "" {
+			return nil, fmt.Errorf("trace: event %d: empty name", i)
+		}
+		id := ce.Args["span"]
+		if id <= 0 {
+			return nil, fmt.Errorf("trace: event %d (%s): missing span id", i, ce.Name)
+		}
+		sp := ChromeSpan{
+			Name:       ce.Name,
+			StartNanos: int64(ce.Ts * 1e3),
+			DurNanos:   int64(ce.Dur * 1e3),
+			Worker:     ce.Tid - 1,
+			ID:         uint64(id),
+			Parent:     uint64(ce.Args["parent"]),
+			Args:       ce.Args,
+		}
+		if _, dup := byID[sp.ID]; dup {
+			return nil, fmt.Errorf("trace: duplicate span id %d", sp.ID)
+		}
+		byID[sp.ID] = sp
+		spans = append(spans, sp)
+	}
+	// Parent links resolve and contain their children. A parent missing
+	// from the buffer (overwritten in a wrapped ring) is tolerated;
+	// a present parent must temporally contain the child (1µs slack for
+	// the microsecond rounding of the interchange format).
+	const slack = int64(time.Microsecond)
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		par, ok := byID[sp.Parent]
+		if !ok {
+			continue
+		}
+		if sp.StartNanos+slack < par.StartNanos ||
+			sp.StartNanos+sp.DurNanos > par.StartNanos+par.DurNanos+slack {
+			return nil, fmt.Errorf("trace: span %d (%s) escapes its parent %d (%s)",
+				sp.ID, sp.Name, par.ID, par.Name)
+		}
+	}
+	return spans, nil
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"cfpgrowth/internal/arena"
 	"cfpgrowth/internal/core"
@@ -69,6 +70,11 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	}
 	if err := ctl.Err(); err != nil {
 		return err
+	}
+	if m.Rec != nil {
+		// One sample per Mine call into the per-query latency histogram
+		// (time.Now() binds at the defer, covering every return path).
+		defer m.Rec.ObserveSince(obs.HistQuery, time.Now())
 	}
 	sp := m.Rec.Start(obs.PhasePass1)
 	counts, err := dataset.CountItems(src)
@@ -172,12 +178,58 @@ func (m Miner) Mine(src dataset.Source, minSupport uint64, sink mine.Sink) error
 	for w := range arenas {
 		arenas[w] = arena.New()
 	}
-	// One mine span covers the whole worker pool, as in ParallelGrowth.
+	// One mine span covers the whole worker pool, as in ParallelGrowth;
+	// pool accounting (jobs, whole-group steals, busy/idle) is collected
+	// whenever a recorder is attached, and when a trace buffer is also
+	// attached each group's mine becomes one child span under it.
+	var pool *mine.ShardMetrics
+	if m.Rec != nil {
+		pool = mine.NewShardMetrics(workers, jobs)
+	}
 	sp = m.Rec.Start(obs.PhaseMine)
 	defer sp.End()
-	return mine.RunSharded(workers, jobs, ctl, func(worker, _, g int) error {
+	tracing := m.Rec.Tracing()
+	err = mine.RunShardedObserved(workers, jobs, ctl, pool, func(worker, _, g int) error {
+		if tracing {
+			csp := m.Rec.StartChild(sp, "mine-group").WithWorker(worker).
+				With("group", int64(g))
+			err := m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, arenas[worker], ctl)
+			csp.End()
+			return err
+		}
 		return m.mineShard(shards[g].path, g, groups, n, itemName, itemCount, minSupport, ssink, track, arenas[worker], ctl)
 	})
+	foldPoolMetrics(m.Rec, pool)
+	return err
+}
+
+// foldPoolMetrics converts a drained pool's accounting into the
+// recorder's mine-pool stats; nil recorder or pool is a no-op.
+func foldPoolMetrics(rec *obs.Recorder, pool *mine.ShardMetrics) {
+	if rec == nil || pool == nil {
+		return
+	}
+	shards := make([]obs.ShardStat, len(pool.Shards))
+	for i := range pool.Shards {
+		sc := &pool.Shards[i]
+		shards[i] = obs.ShardStat{
+			Queue:      sc.Queue,
+			Jobs:       sc.Jobs.Load(),
+			Steals:     sc.Steals.Load(),
+			StealFails: sc.StealFails.Load(),
+			BusyNanos:  sc.BusyNanos.Load(),
+		}
+	}
+	workers := make([]obs.WorkerStat, len(pool.Workers))
+	for i, wc := range pool.Workers {
+		workers[i] = obs.WorkerStat{
+			Jobs:      wc.Jobs,
+			Steals:    wc.Steals,
+			BusyNanos: wc.BusyNanos,
+			IdleNanos: wc.IdleNanos,
+		}
+	}
+	rec.SetMinePool(shards, workers)
 }
 
 // mineShard reads one shard file, builds its CFP structures, and mines

@@ -2,6 +2,7 @@ package cfpgrowth
 
 import (
 	"testing"
+	"time"
 
 	"cfpgrowth/internal/dataset"
 	"cfpgrowth/internal/quest"
@@ -9,11 +10,24 @@ import (
 )
 
 // TestSoakProfilesAllAlgorithms cross-validates every algorithm on
-// realistically shaped datasets at moderate scale. Skipped with -short.
+// realistically shaped datasets at moderate scale, with the runtime
+// sampler polling heap/goroutine/GC health across the whole soak — a
+// long multi-algorithm run is exactly the shape the sampler exists
+// for. Skipped with -short.
 func TestSoakProfilesAllAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
+	rec := NewRecorder(nil)
+	defer func() {
+		rt := rec.Runtime()
+		if rt.Samples == 0 {
+			t.Error("soak ran without a single runtime sample")
+		}
+		t.Logf("runtime over soak: %d samples, heap %d B, %d goroutines, %d GC cycles (%.2f ms paused)",
+			rt.Samples, rt.HeapBytes, rt.Goroutines, rt.NumGC, float64(rt.GCPauseNanos)/1e6)
+	}()
+	defer rec.StartSampler(50 * time.Millisecond).Stop()
 	type workload struct {
 		name   string
 		db     dataset.Slice
@@ -41,7 +55,7 @@ func TestSoakProfilesAllAlgorithms(t *testing.T) {
 	for _, w := range workloads {
 		w := w
 		t.Run(w.name, func(t *testing.T) {
-			opts := Options{RelativeSupport: w.relSup}
+			opts := Options{RelativeSupport: w.relSup, Observe: rec}
 			want, err := MineAll(w.db, opts)
 			if err != nil {
 				t.Fatal(err)
