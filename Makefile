@@ -15,10 +15,12 @@ vet:
 # Project-specific analyzers (internal/analysis, driven by cmd/cfplint):
 # ptr40safe, ledgerbalance, goroutinesafe, poolreturn, sharedro,
 # sinkguard, obsguard, lockorder, errsentinel, varintbounds,
-# atomicfield, allochot, and the numeric layer intwidth, loopprogress,
-# boundscertain — preceded by reporting-free summary and rangefacts
-# phases that publish per-function Effects and result-range facts in
-# package dependency order. Suppress a finding with
+# atomicfield, allochot, the numeric layer intwidth, loopprogress,
+# boundscertain, and the heap layer frozenro, arenaescape, aliasburden
+# — preceded by reporting-free summary, rangefacts, and pointsto
+# phases that publish per-function Effects, result-range, and
+# points-to/lifetime-region facts in package dependency order.
+# Suppress a finding with
 # `//cfplint:ignore <analyzer> <reason>` on or above the line.
 lint:
 	$(GO) run ./cmd/cfplint ./...

@@ -8,15 +8,19 @@
 // sharded workers (sharedro), span hygiene (obsguard), sentinel-error
 // hygiene (errsentinel), atomic-field discipline (atomicfield),
 // lock-order discipline (lockorder), hot-path allocation discipline
-// (allochot), and the numeric layer: packed-width proofs (intwidth),
+// (allochot), the numeric layer: packed-width proofs (intwidth),
 // loop-progress proofs (loopprogress), and in-range certification of
 // index/slice expressions (boundscertain, reporting-free — it
 // publishes the Certified fact varintbounds consumes to drop taint
-// findings the interval engine has proven safe). Two reporting-free
-// phases run first: summary publishes the per-function Effects facts
-// the interprocedural analyzers consume, and rangefacts (pulled in as
-// a requirement of the numeric analyzers) publishes per-function
-// result ranges.
+// findings the interval engine has proven safe), and the heap layer:
+// serving-artifact immutability (frozenro), arena/pool release safety
+// (arenaescape), and hot-path noalias discipline (aliasburden). Three
+// reporting-free phases feed the rest: summary publishes the
+// per-function Effects facts the interprocedural analyzers consume,
+// rangefacts (pulled in as a requirement of the numeric analyzers)
+// publishes per-function result ranges, and pointsto publishes the
+// points-to/lifetime-region facts the heap-layer analyzers and the
+// rewired poolreturn consume.
 //
 // Usage:
 //
@@ -67,16 +71,20 @@ import (
 	"time"
 
 	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/aliasburden"
 	"cfpgrowth/internal/analysis/allochot"
+	"cfpgrowth/internal/analysis/arenaescape"
 	"cfpgrowth/internal/analysis/atomicfield"
 	"cfpgrowth/internal/analysis/boundscertain"
 	"cfpgrowth/internal/analysis/errsentinel"
+	"cfpgrowth/internal/analysis/frozenro"
 	"cfpgrowth/internal/analysis/intwidth"
 	"cfpgrowth/internal/analysis/loopprogress"
 	"cfpgrowth/internal/analysis/goroutinesafe"
 	"cfpgrowth/internal/analysis/ledgerbalance"
 	"cfpgrowth/internal/analysis/lockorder"
 	"cfpgrowth/internal/analysis/obsguard"
+	"cfpgrowth/internal/analysis/pointsto"
 	"cfpgrowth/internal/analysis/poolreturn"
 	"cfpgrowth/internal/analysis/ptr40safe"
 	"cfpgrowth/internal/analysis/sharedro"
@@ -194,6 +202,51 @@ var suite = []scoped{
 	{loopprogress.Analyzer, func(path string) bool {
 		return !strings.HasPrefix(path, "cfpgrowth/internal/analysis")
 	}},
+	// pointsto is the heap layer's fact phase: reporting-free, it
+	// solves the per-package points-to constraints, tags allocation
+	// sites with lifetime regions (arena/pool/frozen/ring), and
+	// publishes the Points/Escapes facts frozenro, arenaescape,
+	// aliasburden, and the rewired poolreturn consume. It runs
+	// everywhere outside the analysis framework itself (same
+	// self-analysis exclusion as loopprogress): the consumers below are
+	// scoped tighter, but the facts of every dependency — arena
+	// accessors, encoding helpers, obs recorders — must exist before
+	// their importers are analyzed.
+	{pointsto.Analyzer, func(path string) bool {
+		return !strings.HasPrefix(path, "cfpgrowth/internal/analysis")
+	}},
+	// frozenro guards the serving artifact: no write may reach memory
+	// behind a //cfplint:freezes result (core.Convert, core.ReadArray)
+	// after it returns. Scoped to the packages that build or consume
+	// the CFP-array.
+	{frozenro.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/mine",
+		"cfpgrowth/internal/algo",
+		"cfpgrowth/cmd",
+	)},
+	// arenaescape guards recycled memory: no pointer derived from an
+	// arena buffer or pooled object may escape the function that
+	// Resets/Puts it. Scoped to the layers that run those lifecycles.
+	{arenaescape.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/pfp",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/algo",
+		"cfpgrowth/internal/mine",
+		"cfpgrowth/internal/arena",
+	)},
+	// aliasburden keeps //cfplint:hot callees free of aliasing argument
+	// pairs; scoped to the packages that declare hot functions (the
+	// marker is a doc comment, so callers in other packages cannot see
+	// it anyway).
+	{aliasburden.Analyzer, anyPrefix(
+		"cfpgrowth/internal/core",
+		"cfpgrowth/internal/fptree",
+		"cfpgrowth/internal/mine",
+		"cfpgrowth/internal/obs",
+	)},
 }
 
 // jsonFinding is the -json serialization of one finding.
@@ -303,7 +356,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		report := jsonReport{Findings: jfs, TimingsMS: map[string]float64{}}
 		for name, d := range timings {
-			report.TimingsMS[name] = float64(d.Microseconds()) / 1000
+			// Full float precision, not truncated microseconds: a fast
+			// fact-only phase (pointsto on a leaf package) must serialize
+			// as its real sub-millisecond cost, never as 0 — a zero entry
+			// is indistinguishable from a phase that never ran.
+			report.TimingsMS[name] = d.Seconds() * 1000
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -332,7 +389,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		timingsMS := map[string]float64{}
 		for name, d := range timings {
-			timingsMS[name] = float64(d.Microseconds()) / 1000
+			timingsMS[name] = d.Seconds() * 1000
 		}
 		for _, v := range checkBudget(timingsMS, budget) {
 			fmt.Fprintf(stderr, "cfplint: budget: %s\n", v)

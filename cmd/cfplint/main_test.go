@@ -47,6 +47,7 @@ func TestList(t *testing.T) {
 		"summary", "ptr40safe", "ledgerbalance", "goroutinesafe",
 		"poolreturn", "sharedro", "sinkguard", "obsguard", "lockorder",
 		"errsentinel", "varintbounds", "atomicfield", "allochot",
+		"pointsto", "frozenro", "arenaescape", "aliasburden",
 	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %s", name)
@@ -116,6 +117,47 @@ func TestCleanJSONHasEmptyFindings(t *testing.T) {
 	}
 	if len(report.TimingsMS) == 0 {
 		t.Error("artifact has no timings_ms, want per-analyzer wall time")
+	}
+}
+
+// TestTimingsOnlyForPhasesThatRan pins the timings contract for
+// scoped and fact-only phases: a subset run must emit a timings_ms
+// entry for every phase that actually ran on the subset — including
+// reporting-free fact phases like pointsto, at full sub-millisecond
+// precision, never truncated to 0 — and no entry at all for analyzers
+// the subset scoped out. A zero or missing entry for a phase that ran
+// (or a phantom entry for one that did not) would make the budget gate
+// and the CI cost history lie about what the suite executed.
+func TestTimingsOnlyForPhasesThatRan(t *testing.T) {
+	artifact := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	// internal/encoding is in scope for the pointsto fact phase but out
+	// of scope for its reporting consumers (frozenro, arenaescape,
+	// aliasburden) and for poolreturn.
+	code := run([]string{"-json", artifact, "../../internal/encoding"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := report.TimingsMS["pointsto"]; !ok || v <= 0 {
+		t.Errorf("pointsto ran on the subset but timings_ms[pointsto] = %v, %v", v, ok)
+	}
+	for _, name := range []string{"frozenro", "arenaescape", "aliasburden", "poolreturn"} {
+		if v, ok := report.TimingsMS[name]; ok {
+			t.Errorf("timings_ms has %s = %v, but the subset scopes it out; entries must exist only for phases that ran", name, v)
+		}
+	}
+	for name, v := range report.TimingsMS {
+		if v <= 0 {
+			t.Errorf("timings_ms[%s] = %v; phases that ran must report their real nonzero cost", name, v)
+		}
 	}
 }
 

@@ -1,0 +1,12 @@
+package aliasburden_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/aliasburden"
+)
+
+func TestAliasBurden(t *testing.T) {
+	analysis.RunFixture(t, aliasburden.Analyzer, "testdata/alias")
+}

@@ -1,0 +1,57 @@
+// Package alias exercises aliasburden: hot callees that write through
+// a parameter flag callers passing may-aliasing argument pairs, while
+// distinct arguments, read-only hot callees, and cold callees stay
+// clean.
+package alias
+
+type rec struct {
+	vals []int
+	out  []int
+}
+
+// merge writes through dst while reading src: the canonical noalias
+// assumption.
+//
+//cfplint:hot
+func merge(dst, src *rec) {
+	dst.vals = append(dst.vals, src.vals...)
+}
+
+// compare only reads both parameters: aliasing them is harmless.
+//
+//cfplint:hot
+func compare(a, b *rec) int {
+	return len(a.vals) - len(b.vals)
+}
+
+// coldMerge writes through dst but carries no hot marker: out of
+// scope.
+func coldMerge(dst, src *rec) {
+	dst.vals = append(dst.vals, src.vals...)
+}
+
+func callAliased() {
+	r := &rec{}
+	merge(r, r) // want `hot function merge may be handed aliasing arguments 0 and 1`
+}
+
+func callViaCopy() {
+	r := &rec{}
+	s := r
+	merge(r, s) // want `hot function merge may be handed aliasing arguments 0 and 1`
+}
+
+func callDistinct() {
+	a, b := &rec{}, &rec{}
+	merge(a, b)
+}
+
+func callReadOnly() {
+	r := &rec{}
+	_ = compare(r, r)
+}
+
+func callCold() {
+	r := &rec{}
+	coldMerge(r, r)
+}

@@ -1,0 +1,117 @@
+// Package arenaescape proves the repo's recycled memory escape-free:
+// no pointer derived from an arena buffer or a pooled object may
+// outlive the Reset/Put that recycles it. The arena hands out interior
+// offsets whose backing array is reused wholesale on Reset, and
+// sync.Pool buffers are handed to the next Get the moment Put returns
+// — a pointer that survives either boundary is a use-after-free in
+// slow motion: it silently reads (or worse, writes) whatever the next
+// cycle put there.
+//
+// The check rides on pointsto's lifetime regions. Arena accessor
+// results and pool Gets are Derived objects rooted at their buffer;
+// release sites (Reset receivers, Put arguments, release*-named calls,
+// summary PutsParams) resolve to the same roots. A function that
+// completes a lifecycle — it has at least one release event — must not
+// let any Arena/Pool/Ring-region object rooted at a released buffer
+// escape: not by return, not by a store to a global or longer-lived
+// region, not by a channel send, not by an unjoined goroutine capture,
+// and not by handing it to a callee whose Escapes fact says it retains
+// the argument. Functions without a release event are not checked:
+// they borrow or transfer ownership, and their caller owns the cycle.
+//
+// Goroutine captures follow the solver's join discipline: a function
+// that calls sync.WaitGroup.Wait collects its spawns before the
+// release runs, so those captures are not lasting escapes
+// (goroutinesafe checks the Wait pairing itself).
+package arenaescape
+
+import (
+	"go/token"
+	"go/types"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/pointsto"
+	"cfpgrowth/internal/analysis/summary"
+)
+
+// Analyzer flags arena/pool-derived pointers escaping their release.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc: `flags pointers derived from an arena buffer or pooled object that
+escape the function releasing them (Reset/Put): the backing memory is
+recycled at the release, so any surviving pointer is a use-after-free
+waiting for the next cycle`,
+	Requires:  []*analysis.Analyzer{pointsto.Analyzer, summary.Analyzer},
+	FactTypes: []analysis.Fact{new(summary.Effects), new(pointsto.Points), new(pointsto.Escapes)},
+	Run:       run,
+}
+
+// recycled is the region set whose backing memory is reused after a
+// release event.
+const recycled = pointsto.Arena | pointsto.Pool | pointsto.Ring
+
+func run(pass *analysis.Pass) error {
+	r := pointsto.ResultOf(pass)
+	if r == nil {
+		return nil
+	}
+
+	escBy := map[*types.Func][]pointsto.Escape{}
+	for _, e := range r.Escapes() {
+		escBy[e.Fn] = append(escBy[e.Fn], e)
+	}
+
+	seen := map[token.Pos]bool{}
+	for _, fd := range pass.FuncDecls() {
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		rels := r.Released(fn)
+		if len(rels) == 0 {
+			continue // no lifecycle completes here; the caller owns it
+		}
+		released := map[int]bool{}
+		relPos := map[token.Pos]bool{}
+		for _, rel := range rels {
+			relPos[rel.Pos] = true
+			for _, o := range rel.Objects {
+				released[o.ID] = true
+			}
+		}
+		joins := r.FnJoins(fn)
+		for _, e := range escBy[fn] {
+			if e.Kind == pointsto.EscSpawn && joins {
+				continue // spawns are collected before the release
+			}
+			if e.Kind == pointsto.EscCallee && relPos[e.Pos] {
+				// The releasing call itself retains the value — a pool
+				// manager parking the buffer on its free list IS the
+				// recycle, not an escape past it.
+				continue
+			}
+			if seen[e.Pos] {
+				continue
+			}
+			for _, o := range r.EscapedObjects(e) {
+				if o.Region&recycled == 0 {
+					continue
+				}
+				hit := false
+				for _, root := range o.Roots() {
+					if released[root] {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					seen[e.Pos] = true
+					pass.Reportf(e.Pos, "%s-backed pointer (%s) is %s, but %s releases the backing buffer: the pointer must not outlive its Reset/Put",
+						o.Region, o.Label, e.Kind, fn.Name())
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysis.RunFixture(t, arenaescape.Analyzer, "testdata/escape")
+}

@@ -1,0 +1,107 @@
+// Package escape exercises arenaescape: every escape route out of a
+// releasing function (return, global store, channel send, unjoined
+// goroutine, retaining callee) is flagged for arena- and pool-derived
+// pointers, while borrow-within-cycle, ownership transfer (no release
+// in the function), and joined-goroutine shapes certify clean.
+package escape
+
+import (
+	"sync"
+
+	"cfpgrowth/internal/arena"
+)
+
+func use([]byte) {}
+
+// okCycle borrows arena memory strictly inside the cycle: clean.
+func okCycle() int {
+	a := arena.New()
+	a.Reserve(64)
+	b := a.Bytes(1, 8)
+	n := int(b[0])
+	a.Reset()
+	return n
+}
+
+// leakReturn returns arena memory out of the function that resets the
+// arena.
+func leakReturn() []byte {
+	a := arena.New()
+	a.Reserve(64)
+	b := a.Bytes(1, 8)
+	a.Reset()
+	return b // want `arena-backed pointer .* is returned`
+}
+
+var leak []byte
+
+// leakGlobal parks arena memory in a global across the reset.
+func leakGlobal() {
+	a := arena.New()
+	a.Reserve(64)
+	leak = a.Bytes(1, 8) // want `arena-backed pointer .* stored to a global`
+	a.Reset()
+}
+
+var ch = make(chan []byte, 1)
+
+// leakSend ships arena memory to another goroutine before resetting.
+func leakSend() {
+	a := arena.New()
+	b := a.Bytes(1, 8)
+	ch <- b // want `arena-backed pointer .* sent on a channel`
+	a.Reset()
+}
+
+// leakSpawn hands arena memory to a goroutine it never joins.
+func leakSpawn() {
+	a := arena.New()
+	b := a.Bytes(1, 8)
+	go use(b) // want `arena-backed pointer .* captured by a spawned goroutine`
+	a.Reset()
+}
+
+// okJoined also spawns with arena memory, but joins before the reset:
+// the capture cannot outlive the buffer.
+func okJoined(wg *sync.WaitGroup) {
+	a := arena.New()
+	b := a.Bytes(1, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(b)
+	}()
+	wg.Wait()
+	a.Reset()
+}
+
+// keep retains its argument (Escapes fact: lasting).
+func keep(b []byte) { leak = b }
+
+// leakCallee launders the escape through a retaining callee.
+func leakCallee() {
+	a := arena.New()
+	b := a.Bytes(1, 8)
+	keep(b) // want `arena-backed pointer .* retained by a callee`
+	a.Reset()
+}
+
+type buf struct{ p []byte }
+
+var pool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+var kept *buf
+
+// leakPool parks a pooled object in a global and then Puts it back:
+// the next Get hands the same object to someone else.
+func leakPool() {
+	b := pool.Get().(*buf)
+	kept = b // want `pool-backed pointer .* stored to a global`
+	pool.Put(b)
+}
+
+// okTransfer Gets without Putting: ownership moves to the caller, and
+// the release happens elsewhere. Not this function's cycle to police.
+func okTransfer() *buf {
+	return pool.Get().(*buf)
+}

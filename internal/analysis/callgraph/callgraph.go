@@ -199,6 +199,77 @@ func (g *Graph) succs(n *Node) []*Node {
 	return out
 }
 
+// SCCInts computes the strongly connected components of a directed
+// graph over the integer nodes [0, n) with successor function succ,
+// returned in reverse topological order of the condensation (a
+// component appears before every component with an edge into it).
+// It is the same Tarjan core that orders the call graph, exposed as a
+// plain-integer variant so other fixpoint layers can reuse it — the
+// points-to solver (internal/analysis/pointsto) collapses
+// constraint-graph copy cycles with it, processing the emitted list
+// back-to-front to visit sources before destinations.
+func SCCInts(n int, succ func(int) []int) [][]int {
+	t := &intTarjan{
+		succ:    succ,
+		index:   make([]int, n),
+		lowlink: make([]int, n),
+		onstack: make([]bool, n),
+	}
+	for i := range t.index {
+		t.index[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if t.index[v] < 0 {
+			t.connect(v)
+		}
+	}
+	return t.out
+}
+
+// intTarjan mirrors tarjan over integer nodes. The constraint graphs
+// it serves are wide, not deep (copy chains through a few assignment
+// hops), so recursion is fine there too.
+type intTarjan struct {
+	succ    func(int) []int
+	counter int
+	index   []int
+	lowlink []int
+	onstack []bool
+	stack   []int
+	out     [][]int
+}
+
+func (t *intTarjan) connect(v int) {
+	t.index[v] = t.counter
+	t.lowlink[v] = t.counter
+	t.counter++
+	t.stack = append(t.stack, v)
+	t.onstack[v] = true
+	for _, w := range t.succ(v) {
+		if t.index[w] < 0 {
+			t.connect(w)
+			if t.lowlink[w] < t.lowlink[v] {
+				t.lowlink[v] = t.lowlink[w]
+			}
+		} else if t.onstack[w] && t.index[w] < t.lowlink[v] {
+			t.lowlink[v] = t.index[w]
+		}
+	}
+	if t.lowlink[v] == t.index[v] {
+		var comp []int
+		for {
+			w := t.stack[len(t.stack)-1]
+			t.stack = t.stack[:len(t.stack)-1]
+			t.onstack[w] = false
+			comp = append(comp, w)
+			if w == v {
+				break
+			}
+		}
+		t.out = append(t.out, comp)
+	}
+}
+
 // tarjan is the classic iterative-enough recursion; package call
 // graphs are shallow, so plain recursion is fine.
 type tarjan struct {

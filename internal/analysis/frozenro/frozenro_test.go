@@ -1,0 +1,12 @@
+package frozenro_test
+
+import (
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+	"cfpgrowth/internal/analysis/frozenro"
+)
+
+func TestFrozenRO(t *testing.T) {
+	analysis.RunFixture(t, frozenro.Analyzer, "testdata/frozen")
+}

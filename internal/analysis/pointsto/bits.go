@@ -1,0 +1,77 @@
+package pointsto
+
+import mbits "math/bits"
+
+// bits is a growable bitset over abstract-object IDs; the zero value
+// is an empty set.
+type bits []uint64
+
+func (b *bits) grow(i int) {
+	for len(*b) <= i/64 {
+		*b = append(*b, 0)
+	}
+}
+
+// add inserts i, reporting whether the set changed.
+func (b *bits) add(i int) bool {
+	b.grow(i)
+	w, m := i/64, uint64(1)<<(i%64)
+	if (*b)[w]&m != 0 {
+		return false
+	}
+	(*b)[w] |= m
+	return true
+}
+
+// has reports membership.
+func (b bits) has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(uint64(1)<<(i%64)) != 0
+}
+
+// or unions o into b, reporting whether b changed.
+func (b *bits) or(o bits) bool {
+	changed := false
+	if len(o) > len(*b) {
+		*b = append(*b, make(bits, len(o)-len(*b))...)
+	}
+	for i, w := range o {
+		if (*b)[i]|w != (*b)[i] {
+			(*b)[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// intersects reports whether the sets share a member.
+func (b bits) intersects(o bits) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// clone returns an independent copy.
+func (b bits) clone() bits {
+	out := make(bits, len(b))
+	copy(out, b)
+	return out
+}
+
+// forEach calls f for each member in ascending order.
+func (b bits) forEach(f func(int)) {
+	for i, w := range b {
+		for w != 0 {
+			j := mbits.TrailingZeros64(w)
+			f(i*64 + j)
+			w &^= 1 << uint(j)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package pointsto
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"cfpgrowth/internal/analysis"
+)
+
+// loadSolverFixture runs the analyzer over the edge-case fixture and
+// returns the cached Result plus lookup helpers.
+func loadSolverFixture(t *testing.T) (*Result, *analysis.Package) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture("testdata/solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.Run(pkg, []*analysis.Analyzer{Analyzer}); err != nil {
+		t.Fatal(err)
+	}
+	resultsMu.Lock()
+	r := results[pkg.Types]
+	resultsMu.Unlock()
+	if r == nil {
+		t.Fatal("no cached result for fixture package")
+	}
+	return r, pkg
+}
+
+func fnNamed(t *testing.T, pkg *analysis.Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found", name)
+	}
+	return fn
+}
+
+func TestSelfReferentialChainConverges(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	fn := fnNamed(t, pkg, "chain")
+	p, _ := r.s.factsFor(fn)
+	if p.ReturnsParams&1 == 0 {
+		t.Errorf("chain: want ReturnsParams bit 0 (n itself may be returned), got %#x", p.ReturnsParams)
+	}
+	if p.ReturnsParamMem&1 == 0 {
+		t.Errorf("chain: want ReturnsParamMem bit 0 (n.next... may be returned), got %#x", p.ReturnsParamMem)
+	}
+	// The phantom chain must be depth-limited, not one object per load.
+	params := 0
+	for _, o := range r.s.objs {
+		if o.Fn == fn && o.depth > maxPhantomDepth {
+			params++
+		}
+	}
+	if params != 0 {
+		t.Errorf("chain: %d phantom objects deeper than the limit", params)
+	}
+}
+
+func TestSliceOfPointerFieldEscape(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	e := r.s.escMask[fnNamed(t, pkg, "fill")]
+	if e == nil || e.Params&2 == 0 {
+		t.Fatalf("fill: want Escapes.Params bit 1 (n stored into h.items), got %+v", e)
+	}
+	p, _ := r.s.factsFor(fnNamed(t, pkg, "first"))
+	if p.ReturnsParamMem&1 == 0 {
+		t.Errorf("first: want ReturnsParamMem bit 0, got %#x", p.ReturnsParamMem)
+	}
+}
+
+func TestInterfaceBoxingPreservesObjects(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	for _, name := range []string{"box", "unbox"} {
+		p, _ := r.s.factsFor(fnNamed(t, pkg, name))
+		if p.ReturnsParams&1 == 0 {
+			t.Errorf("%s: want ReturnsParams bit 0 through the interface, got %#x", name, p.ReturnsParams)
+		}
+	}
+}
+
+func TestLitCaptures(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	lits := map[string]*ast.FuncLit{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lits[fd.Name.Name] == nil {
+					lits[fd.Name.Name] = lit
+				}
+				return true
+			})
+		}
+	}
+	caps := r.LitCaptures(lits["capture"])
+	if len(caps) != 1 || caps[0].Name() != "n" {
+		t.Errorf("capture literal: want capture [n], got %v", caps)
+	}
+	if got := r.LitCaptures(lits["shadow"]); len(got) != 0 {
+		t.Errorf("shadow literal: want no captures (n is redeclared inside), got %v", got)
+	}
+}
+
+func TestCaptureEscapeAndJoinDiscipline(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	if e := r.s.escMask[fnNamed(t, pkg, "capture")]; e == nil || e.Lasting&1 == 0 {
+		t.Errorf("capture: want lasting escape of slot 0 via global store in literal, got %+v", e)
+	}
+	joined := r.s.escMask[fnNamed(t, pkg, "spawnJoined")]
+	if joined == nil || joined.Params&1 == 0 {
+		t.Errorf("spawnJoined: want Params bit 0 (goroutine capture), got %+v", joined)
+	}
+	if joined != nil && joined.Lasting&1 != 0 {
+		t.Errorf("spawnJoined: Lasting must exclude joined spawns, got %+v", joined)
+	}
+	if e := r.s.escMask[fnNamed(t, pkg, "spawnLoose")]; e == nil || e.Lasting&1 == 0 {
+		t.Errorf("spawnLoose: want lasting escape (never joined), got %+v", e)
+	}
+	if !r.FnJoins(fnNamed(t, pkg, "spawnJoined")) || r.FnJoins(fnNamed(t, pkg, "spawnLoose")) {
+		t.Error("FnJoins must hold for spawnJoined only")
+	}
+}
+
+func TestRecursiveAllocationSCC(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	for _, name := range []string{"ping", "pong"} {
+		p, _ := r.s.factsFor(fnNamed(t, pkg, name))
+		if p.Fresh&Heap == 0 {
+			t.Errorf("%s: want Fresh heap allocation through the recursion cycle, got %v", name, p.Fresh)
+		}
+	}
+}
+
+func TestPoolCycleAndRelease(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	fn := fnNamed(t, pkg, "cycle")
+	rels := r.Released(fn)
+	if len(rels) != 1 {
+		t.Fatalf("cycle: want one release event, got %d", len(rels))
+	}
+	foundPool := false
+	for _, o := range rels[0].Objects {
+		if o.Region&Pool != 0 {
+			foundPool = true
+		}
+	}
+	if !foundPool {
+		t.Errorf("cycle: released objects %v must include a Pool-region root", rels[0].Objects)
+	}
+}
+
+func TestFrozenRegionAndStoreBase(t *testing.T) {
+	r, pkg := loadSolverFixture(t)
+	p, _ := r.s.factsFor(fnNamed(t, pkg, "frozen"))
+	if p.Fresh&Frozen == 0 {
+		t.Errorf("frozen: want Fresh frozen region from the directive, got %v", p.Fresh)
+	}
+	writer := fnNamed(t, pkg, "writesFrozen")
+	hit := false
+	for _, st := range r.Stores() {
+		if st.Fn != writer {
+			continue
+		}
+		for _, o := range r.BaseObjects(st) {
+			if o.Region&Frozen != 0 {
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		t.Error("writesFrozen: no store with a Frozen-region base object")
+	}
+}

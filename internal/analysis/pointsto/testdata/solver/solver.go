@@ -1,0 +1,121 @@
+// Package solver is the points-to solver's edge-case fixture: each
+// function isolates one shape the solver must handle — recursive
+// structures, slice-of-pointer fields, interface boxing, closure
+// captures, mutually recursive allocation — and the test asserts the
+// resulting facts and object sets directly (no want comments; this
+// fixture exercises the Result API, not a reporting analyzer).
+package solver
+
+import "sync"
+
+type node struct {
+	val  *int
+	next *node
+	par  *node
+}
+
+func use(*node) {}
+
+// chain walks a self-referential struct: phantom materialization must
+// converge (depth-limited self-alias) instead of unrolling n.next
+// forever.
+func chain(n *node) *node {
+	for n.next != nil {
+		n = n.next
+	}
+	return n
+}
+
+type holder struct{ items []*node }
+
+// fill stores its second parameter into memory reachable from its
+// first: slice-of-pointer field append, the Escapes.Params shape.
+func fill(h *holder, n *node) {
+	h.items = append(h.items, n)
+}
+
+// first returns memory reachable from its parameter (ReturnsParamMem).
+func first(h *holder) *node {
+	return h.items[0]
+}
+
+// box and unbox round-trip a pointer through an interface; boxing is a
+// plain copy, unboxing a type assertion, and the concrete object must
+// survive both.
+func box(i *node) interface{} { return i }
+
+func unbox(v interface{}) *node { return v.(*node) }
+
+var sink *node
+
+// capture stores a captured parameter into a global from inside a
+// literal: the capture is semantic (resolved object), and the global
+// store escapes the parameter lastingly.
+func capture(n *node) {
+	f := func() { sink = n }
+	f()
+}
+
+// shadow redeclares n inside the literal; the solver must not record a
+// capture for the shadowing variable.
+func shadow(n *node) {
+	f := func() {
+		n := &node{}
+		use(n)
+	}
+	f()
+	use(n)
+}
+
+// spawnJoined captures n in a goroutine but joins it: Params must
+// carry the slot, Lasting must not.
+func spawnJoined(n *node, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(n)
+	}()
+	wg.Wait()
+}
+
+// spawnLoose captures n in a goroutine it never joins: a lasting
+// escape.
+func spawnLoose(n *node) {
+	go func() { use(n) }()
+}
+
+// ping/pong allocate through mutual recursion: the result copy cycle
+// must be SCC-collapsed, and both functions report fresh heap objects.
+func ping(d int) *node {
+	if d == 0 {
+		return &node{}
+	}
+	return pong(d - 1)
+}
+
+func pong(d int) *node {
+	if d == 0 {
+		return &node{}
+	}
+	return ping(d - 1)
+}
+
+var pool = sync.Pool{New: func() interface{} { return new(node) }}
+
+// cycle gets and puts a pooled object: the Get result must be a
+// Pool-region root and the Put a release of exactly that root.
+func cycle() {
+	n := pool.Get().(*node)
+	use(n)
+	pool.Put(n)
+}
+
+//cfplint:freezes
+func frozen() *node { return &node{} }
+
+// writesFrozen stores through a freezer result: the store's base
+// objects must include a Frozen-region object (frozenro's trigger).
+func writesFrozen() {
+	f := frozen()
+	f.par = nil
+}

@@ -21,10 +21,15 @@
 //   - deferred forms of the same, applied per return path.
 //
 // Ownership transfers close a token without a release: returning the
-// value, storing it into a field, element, map or channel, or
-// capturing it in a function literal (the literal or the structure now
-// owns the release). Whatever is still open when a return path is
-// reached is reported at its acquisition site.
+// value, storing it into a field, element, map or channel, capturing
+// it in a function literal, or passing it to a callee whose pointsto
+// Escapes fact says it retains the argument (the literal, structure,
+// or callee now owns the release). Captures and callee retention come
+// from the points-to layer — LitCaptures resolves semantic captures
+// (a variable redeclared inside the literal is not a capture, so the
+// obligation stays put), and Escapes facts name the retaining slots —
+// rather than from lexical identifier scans. Whatever is still open
+// when a return path is reached is reported at its acquisition site.
 package poolreturn
 
 import (
@@ -36,6 +41,7 @@ import (
 	"cfpgrowth/internal/analysis"
 	"cfpgrowth/internal/analysis/cfg"
 	"cfpgrowth/internal/analysis/dataflow"
+	"cfpgrowth/internal/analysis/pointsto"
 	"cfpgrowth/internal/analysis/summary"
 )
 
@@ -49,8 +55,8 @@ pairs like the per-grower Decode free list, and helpers whose summary
 hands out pooled values) to be returned to its pool on every return
 path, error and cancel exits included, unless ownership is
 transferred by returning or storing the value`,
-	Requires:  []*analysis.Analyzer{summary.Analyzer},
-	FactTypes: []analysis.Fact{new(summary.Effects)},
+	Requires:  []*analysis.Analyzer{summary.Analyzer, pointsto.Analyzer},
+	FactTypes: []analysis.Fact{new(summary.Effects), new(pointsto.Points), new(pointsto.Escapes)},
 	Run:       run,
 }
 
@@ -76,6 +82,9 @@ type state struct {
 type problem struct {
 	pass   *analysis.Pass
 	lookup summary.Lookup
+	// pts is the package's points-to result: semantic literal captures
+	// and callee Escapes facts both come from it.
+	pts *pointsto.Result
 }
 
 func (p problem) Entry() state {
@@ -199,15 +208,25 @@ func (p problem) scan(s state, n ast.Node) {
 			if p.releaseCall(s, m) {
 				return false
 			}
-			// append/copy style builtins storing the value, and any
-			// call... are NOT transfers: readers borrow pooled values
-			// constantly. Only append stores it.
+			// Ordinary calls are NOT transfers: readers borrow pooled
+			// values constantly. The exceptions are append (the slice now
+			// stores the value) and callees whose Escapes fact says the
+			// argument is retained past the call (the callee owns it).
 			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
 				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
 					for _, a := range m.Args[1:] {
 						p.dropNamed(s, a)
 					}
 					return false
+				}
+			}
+			if fn := analysis.Callee(info, m); fn != nil {
+				if mask := p.calleeLasting(fn); mask != 0 {
+					for i, a := range summary.ArgExprs(m, fn) {
+						if a != nil && i < 32 && mask&(1<<i) != 0 {
+							p.dropNamed(s, a)
+						}
+					}
 				}
 			}
 		case *ast.CompositeLit:
@@ -221,16 +240,15 @@ func (p problem) scan(s state, n ast.Node) {
 				}
 			}
 		case *ast.FuncLit:
-			// The literal captures any tracked variable it names: it (or
-			// whoever runs it) owns the release now.
-			ast.Inspect(m.Body, func(x ast.Node) bool {
-				if id, ok := x.(*ast.Ident); ok {
-					if obj := info.Uses[id]; obj != nil {
-						drop(s, obj)
-					}
+			// The literal captures the variable: it (or whoever runs it)
+			// owns the release now. LitCaptures is semantic — a variable
+			// redeclared inside the literal shadows the token holder and
+			// transfers nothing.
+			if p.pts != nil {
+				for _, obj := range p.pts.LitCaptures(m) {
+					drop(s, obj)
 				}
-				return true
-			})
+			}
 		}
 		return true
 	})
@@ -288,6 +306,17 @@ func (p problem) releaseCall(s state, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
+}
+
+// calleeLasting returns the parameter slots the callee retains for
+// certain past the call (its pointsto Escapes fact's Lasting mask):
+// passing a token into such a slot transfers ownership.
+func (p problem) calleeLasting(fn *types.Func) uint32 {
+	var e pointsto.Escapes
+	if p.pass.ImportObjectFact(fn, &e) {
+		return e.Lasting
+	}
+	return 0
 }
 
 // deferCall registers deferred releases; deferred closures are scanned
@@ -361,9 +390,10 @@ func applyDefers(s state) {
 
 func run(pass *analysis.Pass) error {
 	lookup := summary.Lookuper(pass)
+	pts := pointsto.ResultOf(pass)
 	for _, fd := range pass.FuncDecls() {
 		for _, body := range scopes(fd.Body) {
-			check(pass, body, lookup)
+			check(pass, body, lookup, pts)
 		}
 	}
 	return nil
@@ -380,8 +410,8 @@ func scopes(root *ast.BlockStmt) []*ast.BlockStmt {
 	return out
 }
 
-func check(pass *analysis.Pass, body *ast.BlockStmt, lookup summary.Lookup) {
-	prob := problem{pass: pass, lookup: lookup}
+func check(pass *analysis.Pass, body *ast.BlockStmt, lookup summary.Lookup, pts *pointsto.Result) {
+	prob := problem{pass: pass, lookup: lookup, pts: pts}
 	g := cfg.New(body)
 	res := dataflow.Forward[state](g, prob)
 	if !res.ExitReached {

@@ -148,6 +148,33 @@ func deferredClosure(fail bool) error {
 	return nil
 }
 
+// shadowLeak names v inside a literal, but the inner v is a
+// redeclaration: nothing is captured (pointsto resolves captures
+// semantically), ownership never moves, and the pooled value leaks. A
+// lexical identifier scan would have silently closed the token here.
+func shadowLeak() {
+	v := bufPool.Get().(*buf) // want `^pooled value v obtained here is never returned to its pool in this function; release it or transfer ownership$`
+	f := func() {
+		v := new(buf)
+		sink(v.b)
+	}
+	f()
+	sink(v.b)
+}
+
+var registry *buf
+
+// adopt retains its argument lastingly (pointsto Escapes fact).
+func adopt(v *buf) { registry = v }
+
+// handedOff transfers ownership to a retaining callee: adopt's Escapes
+// fact says slot 0 outlives the call, so the release is adopt's
+// problem (or whoever drains the registry).
+func handedOff() {
+	v := bufPool.Get().(*buf)
+	adopt(v)
+}
+
 var errFail = sentinel("fail")
 
 type sentinel string

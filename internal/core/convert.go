@@ -18,6 +18,13 @@ import (
 // Triples are written in depth-first order with siblings ascending, so
 // writes within each subarray are strictly sequential — the access
 // pattern that keeps conversion cheap even under memory pressure.
+//
+// The returned array is the serving artifact: frozen from the moment
+// Convert returns. frozenro enforces that machine-checked — no write
+// anywhere in the mining layers may reach memory transitively pointed
+// to by the result.
+//
+//cfplint:freezes
 func Convert(t *Tree) *Array {
 	a, _ := ConvertCtl(t, nil)
 	return a
@@ -28,6 +35,9 @@ func Convert(t *Tree) *Array {
 // and the conversion is abandoned with ctl's stop cause as soon as it
 // fires, so a canceled or over-budget run never pays for a full
 // conversion of a large tree. A nil ctl makes it equivalent to Convert.
+// Like Convert, the returned array is frozen (frozenro enforces it).
+//
+//cfplint:freezes
 func ConvertCtl(t *Tree, ctl *mine.Control) (*Array, error) {
 	numItems := t.NumItems()
 	a := &Array{
